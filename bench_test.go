@@ -1,0 +1,318 @@
+package marchgen
+
+import (
+	"testing"
+
+	"marchgen/bist"
+	"marchgen/diag"
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/atsp"
+	"marchgen/internal/baseline"
+	"marchgen/internal/core"
+	"marchgen/internal/cover"
+	"marchgen/internal/experiments"
+	"marchgen/internal/sim"
+	"marchgen/march"
+	"marchgen/mp"
+	"marchgen/wom"
+)
+
+// ---------------------------------------------------------------------------
+// Table 3: one benchmark per row — the full generation pipeline, fault list
+// to validated optimal March test.
+// ---------------------------------------------------------------------------
+
+func benchGenerate(b *testing.B, faults string, wantK int) {
+	b.Helper()
+	models, err := fault.ParseList(faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Generate(models, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Complexity != wantK {
+			b.Fatalf("%s: %dn, want %dn", faults, res.Complexity, wantK)
+		}
+	}
+}
+
+func BenchmarkTable3Row1SAF(b *testing.B)      { benchGenerate(b, "SAF", 4) }
+func BenchmarkTable3Row2SAFTF(b *testing.B)    { benchGenerate(b, "SAF,TF", 5) }
+func BenchmarkTable3Row3ADF(b *testing.B)      { benchGenerate(b, "SAF,TF,ADF", 6) }
+func BenchmarkTable3Row4CFin(b *testing.B)     { benchGenerate(b, "SAF,TF,ADF,CFin", 6) }
+func BenchmarkTable3Row5CFid(b *testing.B)     { benchGenerate(b, "SAF,TF,ADF,CFin,CFid", 10) }
+func BenchmarkTable3Row6CFinOnly(b *testing.B) { benchGenerate(b, "CFin", 5) }
+
+// ---------------------------------------------------------------------------
+// Figures 1–3: the behavioural FSM machinery.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure1GoodMachineDot regenerates the Figure 1 FSM rendering.
+func BenchmarkFigure1GoodMachineDot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(fsm.Dot(fsm.Good())) == 0 {
+			b.Fatal("empty dot")
+		}
+	}
+}
+
+// BenchmarkFigure2FaultyMachine builds the ⟨↑;0⟩ machine of Figure 2 and
+// exercises its deviating transitions.
+func BenchmarkFigure2FaultyMachine(b *testing.B) {
+	m, err := fault.Parse("CFid<u,0>")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var devs []fsm.Deviation
+	for _, inst := range m.Instances {
+		devs = append(devs, *inst.BFEs[0].Deviation)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine := fsm.WithDeviations("M1", devs...)
+		s := fsm.S(march.Zero, march.One)
+		if machine.Next(s, fsm.Wr(fsm.CellI, march.One)) != fsm.S(march.One, march.Zero) {
+			b.Fatal("Figure 2 deviation lost")
+		}
+	}
+}
+
+// BenchmarkFigure3PatternDerivation derives the BFE test patterns of the
+// Figure 3 decomposition from scratch.
+func BenchmarkFigure3PatternDerivation(b *testing.B) {
+	m, err := fault.Parse("CFid<u,0>")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := *m.Instances[0].BFEs[0].Deviation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.PatternForDeviation(dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4TPG rebuilds the Figure 4 Test Pattern Graph.
+func BenchmarkFigure4TPG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(g.Nodes) != 4 {
+			b.Fatal("wrong TPG")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 4 worked example and its ATSP core.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSection4WorkedExample(b *testing.B) {
+	benchGenerate(b, "CFid<u,1>,CFid<u,0>", 8)
+}
+
+// BenchmarkSection4ATSP solves the constrained open-path ATSP of the
+// worked example (the paper's step (iii) in isolation).
+func BenchmarkSection4ATSP(b *testing.B) {
+	g, err := experiments.Figure4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	starts := make([]int, len(g.Nodes))
+	for k := range g.Nodes {
+		starts[k] = g.StartCost(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := atsp.Path(atsp.Matrix(g.Weight), starts, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 6: the validation instruments — fault simulation and the
+// Coverage-Matrix / Set-Covering non-redundancy check on March C-.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSimulatorMarchCMinus(b *testing.B) {
+	kt, _ := march.Known("MarchC-")
+	models, err := fault.ParseList("SAF,TF,ADF,CFin,CFid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov, err := sim.Evaluate(kt.Test, instances)
+		if err != nil || !cov.Complete() {
+			b.Fatal("March C- must cover the row-5 list")
+		}
+	}
+}
+
+func BenchmarkSimulatorNCell(b *testing.B) {
+	kt, _ := march.Known("MarchC-")
+	models, err := fault.ParseList("CFid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cov, err := sim.EvaluateN(kt.Test, instances, 16)
+		if err != nil || !cov.Complete() {
+			b.Fatal("March C- must cover CFid on the 16-cell engine")
+		}
+	}
+}
+
+func BenchmarkSetCoveringMarchCMinus(b *testing.B) {
+	kt, _ := march.Known("MarchC-")
+	models, err := fault.ParseList("SAF,TF,ADF,CFin,CFid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := cover.Build(kt.Test, instances)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.MinCover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 2/6: pipeline vs. the prior-art searches (the efficiency claim).
+// ---------------------------------------------------------------------------
+
+func BenchmarkBaselineExhaustiveSAF(b *testing.B) {
+	models, _ := fault.ParseList("SAF")
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.Exhaustive(instances, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineBranchBoundSAFTF(b *testing.B) {
+	models, _ := fault.ParseList("SAF,TF")
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.BranchBound(instances, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineBranchBoundWorkedExample(b *testing.B) {
+	models, _ := fault.ParseList("CFid<u,1>,CFid<u,0>")
+	instances := fault.Instances(models)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.BranchBound(instances, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 5: equivalence-class ablation.
+// ---------------------------------------------------------------------------
+
+func BenchmarkEquivalenceAblationCFin(b *testing.B) {
+	models, _ := fault.ParseList("CFin")
+	opts := core.DefaultOptions()
+	opts.DisableEquivalence = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(models, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extensions beyond the paper (EXPERIMENTS.md "Beyond the paper" section).
+// ---------------------------------------------------------------------------
+
+// BenchmarkExtensionLinkedFaults generates the linked-coupling-fault test.
+func BenchmarkExtensionLinkedFaults(b *testing.B) {
+	models, _ := fault.ParseList("LCF")
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(models, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionTwoPortGenerate synthesises the two-port weak-fault
+// test (the paper's §7 future work).
+func BenchmarkExtensionTwoPortGenerate(b *testing.B) {
+	insts := mp.Models()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mp.Generate(insts, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionDiagDictionary builds the March C- fault dictionary.
+func BenchmarkExtensionDiagDictionary(b *testing.B) {
+	models, _ := fault.ParseList("SAF,TF,CFid")
+	kt, _ := march.Known("MarchC-")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := diag.Build(kt.Test, models); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionBISTRun executes March C- on a 256-cell BIST target.
+func BenchmarkExtensionBISTRun(b *testing.B) {
+	kt, _ := march.Known("MarchC-")
+	c := bist.Controller{Addresses: bist.LFSR{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Golden(kt.Test, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionWordBackgrounds checks the 8-bit intra-word fault
+// space under the standard background set.
+func BenchmarkExtensionWordBackgrounds(b *testing.B) {
+	kt, _ := march.Known("MarchC-")
+	bgs, _ := wom.StandardBackgrounds(8)
+	wt, err := wom.Convert(kt.Test, 8, bgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := wom.AllIntraWordCFids(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range faults {
+			if _, err := wom.Detects(wt, 4, 8, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

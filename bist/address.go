@@ -1,0 +1,142 @@
+// Package bist models the memory built-in self-test machinery that March
+// tests are deployed on in silicon: an address generator, a March
+// controller sequencing the test's elements over a memory-under-test, and
+// a MISR (multiple-input signature register) compacting the read responses
+// into a signature compared against a fault-free golden run.
+//
+// Besides being the natural execution vehicle for the generated tests, the
+// package makes a classic engineering trade-off measurable: an LFSR-based
+// address generator is cheaper than a counter but does not preserve the
+// monotonic address order March semantics rely on, so coupling-fault
+// coverage degrades — the package tests demonstrate exactly that with the
+// fault simulator.
+package bist
+
+import "fmt"
+
+// AddressGenerator yields the address order the BIST controller walks for
+// an ascending March element; descending elements use the reverse order.
+type AddressGenerator interface {
+	// Sequence returns a permutation of 0..n-1.
+	Sequence(n int) ([]int, error)
+	// Name identifies the generator in reports.
+	Name() string
+}
+
+// Counter is the standard binary up-counter address generator: addresses
+// in natural order, exactly the ⇑ semantics March tests assume.
+type Counter struct{}
+
+// Name implements AddressGenerator.
+func (Counter) Name() string { return "counter" }
+
+// Sequence implements AddressGenerator.
+func (Counter) Sequence(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bist: invalid memory size %d", n)
+	}
+	seq := make([]int, n)
+	for k := range seq {
+		seq[k] = k
+	}
+	return seq, nil
+}
+
+// lfsrTaps holds maximal-length Fibonacci LFSR tap masks per register
+// width for the right-shift form used below (feedback = parity of the
+// tapped low bits, shifted into the MSB). Each mask is verified to yield
+// the full 2^w−1 period by the package tests.
+var lfsrTaps = map[int]uint{
+	2:  0b11,
+	3:  0b11,
+	4:  0b11,
+	5:  0b101,
+	6:  0b11,
+	7:  0b11,
+	8:  0b11101,
+	9:  0b10001,
+	10: 0b1001,
+}
+
+// LFSR is a maximal-length linear-feedback shift register address
+// generator: hardware-cheap, pseudo-random order. The all-zero address is
+// appended at the end to cover the full space. Memory size must be a power
+// of two with 4 ≤ n ≤ 1024.
+type LFSR struct {
+	// Seed is the starting state; zero means 1.
+	Seed uint
+}
+
+// Name implements AddressGenerator.
+func (LFSR) Name() string { return "lfsr" }
+
+// Sequence implements AddressGenerator.
+func (g LFSR) Sequence(n int) ([]int, error) {
+	width := 0
+	for 1<<width < n {
+		width++
+	}
+	if 1<<width != n {
+		return nil, fmt.Errorf("bist: LFSR addressing needs a power-of-two size, got %d", n)
+	}
+	taps, ok := lfsrTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no primitive polynomial for %d address bits", width)
+	}
+	state := g.Seed & uint(n-1)
+	if state == 0 {
+		state = 1
+	}
+	seq := make([]int, 0, n)
+	seen := make([]bool, n)
+	for k := 0; k < n-1; k++ {
+		if seen[state] {
+			return nil, fmt.Errorf("bist: LFSR cycle shorter than expected at state %d", state)
+		}
+		seen[state] = true
+		seq = append(seq, int(state))
+		// Fibonacci step: feedback = parity of tapped bits.
+		fb := bitParity(state & taps)
+		state = (state >> 1) | fb<<(width-1)
+	}
+	seq = append(seq, 0) // the LFSR never reaches the all-zero state
+	return seq, nil
+}
+
+func bitParity(v uint) uint {
+	p := uint(0)
+	for v != 0 {
+		p ^= v & 1
+		v >>= 1
+	}
+	return p
+}
+
+// AddressComplement walks addresses in the a, ~a, a+1, ~(a+1), … order
+// used by some BIST schemes to stress the address decoder.
+type AddressComplement struct{}
+
+// Name implements AddressGenerator.
+func (AddressComplement) Name() string { return "address-complement" }
+
+// Sequence implements AddressGenerator.
+func (AddressComplement) Sequence(n int) ([]int, error) {
+	if n <= 0 || n%2 != 0 {
+		return nil, fmt.Errorf("bist: address-complement needs an even size, got %d", n)
+	}
+	mask := n - 1
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("bist: address-complement needs a power-of-two size, got %d", n)
+	}
+	seq := make([]int, 0, n)
+	seen := make([]bool, n)
+	for a := 0; len(seq) < n; a++ {
+		for _, addr := range [2]int{a, a ^ mask} {
+			if !seen[addr] {
+				seen[addr] = true
+				seq = append(seq, addr)
+			}
+		}
+	}
+	return seq, nil
+}

@@ -1,0 +1,277 @@
+package bist
+
+import (
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+func known(t *testing.T, name string) *march.Test {
+	t.Helper()
+	kt, ok := march.Known(name)
+	if !ok {
+		t.Fatalf("unknown %s", name)
+	}
+	return kt.Test
+}
+
+func isPermutation(n int, seq []int) bool {
+	if len(seq) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, a := range seq {
+		if a < 0 || a >= n || seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return true
+}
+
+func TestCounterSequence(t *testing.T) {
+	seq, err := Counter{}.Sequence(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range seq {
+		if a != k {
+			t.Fatalf("counter order broken: %v", seq)
+		}
+	}
+	if _, err := (Counter{}).Sequence(0); err == nil {
+		t.Error("size 0 must fail")
+	}
+}
+
+func TestLFSRSequence(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		seq, err := LFSR{}.Sequence(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !isPermutation(n, seq) {
+			t.Fatalf("n=%d: not a permutation: %v", n, seq)
+		}
+		// Pseudo-random: must differ from the counter order.
+		counterLike := true
+		for k, a := range seq {
+			if a != k {
+				counterLike = false
+				break
+			}
+		}
+		if counterLike {
+			t.Errorf("n=%d: LFSR degenerated to counter order", n)
+		}
+	}
+	if _, err := (LFSR{}).Sequence(6); err == nil {
+		t.Error("non-power-of-two size must fail")
+	}
+	if _, err := (LFSR{}).Sequence(4096); err == nil {
+		t.Error("width without polynomial must fail")
+	}
+}
+
+func TestLFSRSeedChangesOrder(t *testing.T) {
+	a, _ := LFSR{Seed: 1}.Sequence(16)
+	b, _ := LFSR{Seed: 5}.Sequence(16)
+	same := true
+	for k := range a {
+		if a[k] != b[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must rotate the sequence")
+	}
+}
+
+func TestAddressComplementSequence(t *testing.T) {
+	seq, err := AddressComplement{}.Sequence(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPermutation(8, seq) {
+		t.Fatalf("not a permutation: %v", seq)
+	}
+	if seq[0] != 0 || seq[1] != 7 {
+		t.Errorf("order %v, want 0,7,...", seq)
+	}
+	if _, err := (AddressComplement{}).Sequence(6); err == nil {
+		t.Error("non-power-of-two must fail")
+	}
+}
+
+func TestMISRDeterministicAndSensitive(t *testing.T) {
+	m, err := NewMISR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []march.Bit{march.Zero, march.One, march.One, march.Zero, march.One}
+	for _, b := range stream {
+		m.Shift(b)
+	}
+	sig1 := m.Signature()
+	m.Reset()
+	for _, b := range stream {
+		m.Shift(b)
+	}
+	if m.Signature() != sig1 {
+		t.Error("MISR must be deterministic")
+	}
+	m.Reset()
+	stream[2] = march.Zero // single-bit error
+	for _, b := range stream {
+		m.Shift(b)
+	}
+	if m.Signature() == sig1 {
+		t.Error("single-bit error must change the signature")
+	}
+	if _, err := NewMISR(5); err == nil {
+		t.Error("unsupported width must fail")
+	}
+}
+
+func TestGoldenRunPasses(t *testing.T) {
+	c := Controller{}
+	sig, err := c.Golden(known(t, "MarchC-"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The golden signature is stable across invocations.
+	sig2, err := c.Golden(known(t, "MarchC-"), 16)
+	if err != nil || sig != sig2 {
+		t.Errorf("golden signature unstable: %x vs %x (%v)", sig, sig2, err)
+	}
+	if _, err := c.Golden(known(t, "MarchC-"), 1); err == nil {
+		t.Error("size 1 must fail")
+	}
+}
+
+// TestComparatorAndSignatureAgree: for every Table-3 fault instance
+// injected into the memory, the comparator verdict and the
+// signature-vs-golden verdict must both flag the defect (no MISR aliasing
+// on this instance population).
+func TestComparatorAndSignatureAgree(t *testing.T) {
+	c := Controller{}
+	test := known(t, "MarchC-")
+	const n = 16
+	golden, err := c.Golden(test, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := fault.ParseList("SAF,TF,ADF,CFin,CFid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range fault.Instances(models) {
+		for initMask := 0; initMask < 4; initMask++ {
+			mem, err := sim.NewMemory(n, &sim.PlacedFault{Instance: inst, A: 3, B: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem.SetCell(3, march.BitOf(initMask&1 != 0))
+			mem.SetCell(9, march.BitOf(initMask&2 != 0))
+			res, err := c.Run(test, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Pass {
+				t.Fatalf("%s (init %d): comparator missed the defect", inst.Name, initMask)
+			}
+			if res.Signature == golden {
+				t.Errorf("%s (init %d): MISR aliasing — faulty run compacted to the golden signature",
+					inst.Name, initMask)
+			}
+		}
+	}
+}
+
+// TestLFSRWithReversedDownKeepsCoverage: an LFSR address order is fine as
+// long as descending elements walk the exact reverse sequence — March
+// semantics only need "some fixed order and its reverse".
+func TestLFSRWithReversedDownKeepsCoverage(t *testing.T) {
+	c := Controller{Addresses: LFSR{}}
+	checkCoverage(t, c, true)
+}
+
+// TestReseededDownLFSRLosesCoverage demonstrates the classic BIST design
+// error: implementing ⇓ with an independently seeded LFSR instead of the
+// reverse walk silently drops coupling-fault coverage.
+func TestReseededDownLFSRLosesCoverage(t *testing.T) {
+	c := Controller{Addresses: LFSR{}, DownGenerator: LFSR{Seed: 5}}
+	checkCoverage(t, c, false)
+}
+
+// checkCoverage runs March C- against every CFid instance on a 16-cell
+// memory across placements and initial contents and asserts whether
+// every run must fail.
+func checkCoverage(t *testing.T, c Controller, wantComplete bool) {
+	t.Helper()
+	test := known(t, "MarchC-")
+	const n = 16
+	models, err := fault.ParseList("CFid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes := 0
+	for _, inst := range fault.Instances(models) {
+		for _, pair := range [][2]int{{0, 1}, {2, 11}, {7, 8}, {5, 13}} {
+			for initMask := 0; initMask < 4; initMask++ {
+				mem, err := sim.NewMemory(n, &sim.PlacedFault{Instance: inst, A: pair[0], B: pair[1]})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mem.SetCell(pair[0], march.BitOf(initMask&1 != 0))
+				mem.SetCell(pair[1], march.BitOf(initMask&2 != 0))
+				res, err := c.Run(test, mem)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Pass {
+					escapes++
+				}
+			}
+		}
+	}
+	if wantComplete && escapes > 0 {
+		t.Errorf("%d escapes with reversed-down addressing; want none", escapes)
+	}
+	if !wantComplete && escapes == 0 {
+		t.Error("re-seeded down LFSR should lose coupling coverage, but nothing escaped")
+	}
+}
+
+// TestTapMasksAreMaximal verifies every tap mask yields the full 2^w−1
+// LFSR period in the right-shift form the package uses.
+func TestTapMasksAreMaximal(t *testing.T) {
+	check := func(width int, taps uint) {
+		t.Helper()
+		n := uint(1) << width
+		state, count := uint(1), uint(0)
+		for {
+			fb := bitParity(state & taps)
+			state = (state >> 1) | fb<<(width-1)
+			count++
+			if state == 1 {
+				break
+			}
+			if state == 0 || count > n {
+				t.Fatalf("width %d taps %#b: degenerate cycle", width, taps)
+			}
+		}
+		if count != n-1 {
+			t.Errorf("width %d taps %#b: period %d, want %d", width, taps, count, n-1)
+		}
+	}
+	for w, taps := range lfsrTaps {
+		check(w, taps)
+	}
+	for w, taps := range misrTaps {
+		check(w, taps)
+	}
+}

@@ -1,0 +1,56 @@
+package bist
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// MISR is a multiple-input signature register: read responses are folded
+// into a w-bit LFSR state, compressing an arbitrarily long response stream
+// into one signature word. Aliasing (a faulty stream compacting to the
+// golden signature) happens with probability ≈ 2^-w for random error
+// streams.
+type MISR struct {
+	width int
+	taps  uint
+	state uint
+}
+
+// NewMISR builds a MISR of the given register width (2..10 bits, the
+// widths with built-in primitive polynomials... widths up to 16 are
+// accepted by doubling taps choice below).
+func NewMISR(width int) (*MISR, error) {
+	taps, ok := misrTaps[width]
+	if !ok {
+		return nil, fmt.Errorf("bist: no MISR polynomial for width %d", width)
+	}
+	return &MISR{width: width, taps: taps}, nil
+}
+
+// misrTaps extends the LFSR tap table with wider registers used for
+// signature compaction (right-shift form; see lfsrTaps).
+var misrTaps = map[int]uint{
+	4:  0b11,
+	8:  0b11101,
+	12: 0b1010011,
+	16: 0b101101,
+}
+
+// Reset clears the register.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Shift folds one read response bit into the signature. Unknown values
+// (floating reads of a defective memory) enter as 0 — the deterministic
+// convention a real comparator-less BIST would also exhibit.
+func (m *MISR) Shift(v march.Bit) {
+	in := uint(0)
+	if v == march.One {
+		in = 1
+	}
+	fb := bitParity(m.state & m.taps)
+	m.state = ((m.state >> 1) | (fb^in)<<(m.width-1)) & (1<<m.width - 1)
+}
+
+// Signature returns the current register state.
+func (m *MISR) Signature() uint { return m.state }

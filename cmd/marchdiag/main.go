@@ -1,0 +1,82 @@
+// Command marchdiag builds fault dictionaries and diagnoses observed
+// failure syndromes:
+//
+//	marchdiag -known MarchC- -faults SAF,TF,CFid             # print the dictionary
+//	marchdiag -known MarchC- -faults SAF,TF -syndrome 3,6    # who failed ops 3 and 6?
+//	marchdiag -known MarchC- -faults CFid -classes           # ambiguity classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"marchgen/diag"
+	"marchgen/fault"
+	"marchgen/march"
+)
+
+func main() {
+	knownName := flag.String("known", "MarchC-", "classic March test to build the dictionary for")
+	testStr := flag.String("test", "", "March test in conventional notation (overrides -known)")
+	faults := flag.String("faults", "SAF,TF", "comma-separated fault list")
+	syndrome := flag.String("syndrome", "", "observed failing operation indices, e.g. 3,6 (empty: print the dictionary)")
+	classes := flag.Bool("classes", false, "print the ambiguity classes")
+	flag.Parse()
+
+	var test *march.Test
+	if *testStr != "" {
+		var err error
+		test, err = march.Parse(*testStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchdiag:", err)
+			os.Exit(1)
+		}
+	} else {
+		kt, ok := march.Known(*knownName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "marchdiag: unknown test %q (known: %s)\n",
+				*knownName, strings.Join(march.KnownNames(), ", "))
+			os.Exit(1)
+		}
+		test = kt.Test
+	}
+	models, err := fault.ParseList(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchdiag:", err)
+		os.Exit(1)
+	}
+	dict, err := diag.Build(test, models)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchdiag:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *syndrome != "":
+		var s diag.Syndrome
+		for _, part := range strings.Split(*syndrome, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "marchdiag: bad syndrome entry %q\n", part)
+				os.Exit(1)
+			}
+			s = append(s, v)
+		}
+		cands := dict.Diagnose(s)
+		if len(cands) == 0 {
+			fmt.Println("no modelled fault is consistent with this syndrome")
+			os.Exit(1)
+		}
+		fmt.Printf("syndrome {%s} is consistent with: %s\n", s.Key(), strings.Join(cands, ", "))
+	case *classes:
+		fmt.Printf("ambiguity classes of %s over %s:\n", test, *faults)
+		for _, class := range dict.AmbiguityClasses() {
+			fmt.Printf("  %v\n", class)
+		}
+	default:
+		fmt.Print(dict)
+	}
+}

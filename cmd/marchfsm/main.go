@@ -1,0 +1,70 @@
+// Command marchfsm exports the behavioural memory FSMs as Graphviz
+// digraphs, regenerating the paper's Figures 1 and 2:
+//
+//	marchfsm -good                     # Figure 1: the fault-free machine M0
+//	marchfsm -fault 'CFid<u,0>'        # Figure 2: deviations drawn bold
+//	marchfsm -fault 'CFid<u,0>' -instance 1
+//	marchfsm -fault SAF -patterns      # print the BFE test patterns instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+)
+
+func main() {
+	good := flag.Bool("good", false, "emit the fault-free machine M0 (Figure 1)")
+	faultName := flag.String("fault", "", "emit a faulty machine for this fault model")
+	instance := flag.Int("instance", -1, "instance index within the model (-1 = merge all deviations as in Figure 2)")
+	patterns := flag.Bool("patterns", false, "print the model's BFE test patterns instead of DOT")
+	flag.Parse()
+
+	switch {
+	case *good:
+		fmt.Print(fsm.Dot(fsm.Good()))
+	case *faultName != "":
+		m, err := fault.Parse(*faultName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchfsm:", err)
+			os.Exit(1)
+		}
+		if *patterns {
+			for _, inst := range m.Instances {
+				for _, b := range inst.BFEs {
+					fmt.Printf("%-28s %s\n", inst.Name, b.Pattern)
+				}
+			}
+			return
+		}
+		if *instance >= 0 {
+			if *instance >= len(m.Instances) {
+				fmt.Fprintf(os.Stderr, "marchfsm: model %s has %d instances\n", m.Name, len(m.Instances))
+				os.Exit(1)
+			}
+			fmt.Print(fsm.Dot(m.Instances[*instance].Machine))
+			return
+		}
+		// Merge every deviation-modelled instance into one machine, the
+		// way the paper's Figure 2 draws both aggressor orders of ⟨↑;0⟩.
+		var devs []fsm.Deviation
+		for _, inst := range m.Instances {
+			for _, b := range inst.BFEs {
+				if b.Deviation != nil {
+					devs = append(devs, *b.Deviation)
+				}
+			}
+		}
+		if len(devs) == 0 {
+			fmt.Fprintf(os.Stderr, "marchfsm: model %s is not deviation-modelled; pass -instance\n", m.Name)
+			os.Exit(1)
+		}
+		fmt.Print(fsm.Dot(fsm.WithDeviations(m.Name, devs...)))
+	default:
+		fmt.Fprintln(os.Stderr, "marchfsm: pass -good or -fault NAME")
+		os.Exit(2)
+	}
+}

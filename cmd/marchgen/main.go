@@ -1,0 +1,76 @@
+// Command marchgen generates an optimal March test for a memory fault
+// list:
+//
+//	marchgen -faults SAF,TF,ADF,CFin,CFid
+//	marchgen -faults "CFid<u,0>,CFid<u,1>" -stats -ascii
+//
+// The generated test is validated for complete fault coverage and
+// non-redundancy before being printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marchgen"
+	"marchgen/fault"
+)
+
+func main() {
+	faults := flag.String("faults", "SAF", "comma-separated fault list (see -list)")
+	list := flag.Bool("list", false, "print the built-in fault models and exit")
+	stats := flag.Bool("stats", false, "print pipeline statistics")
+	ascii := flag.Bool("ascii", false, "print the test in 7-bit notation")
+	heuristic := flag.Bool("heuristic", false, "use the heuristic ATSP solver (faster, possibly suboptimal)")
+	verify := flag.Bool("verify", true, "print the coverage/non-redundancy verdict")
+	flag.Parse()
+
+	if *list {
+		for _, name := range fault.ModelNames() {
+			m, err := fault.Parse(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-6s %2d instances  %s\n", name, len(m.Instances), m.Description)
+		}
+		return
+	}
+
+	var opts []marchgen.Option
+	if *heuristic {
+		opts = append(opts, marchgen.WithHeuristicATSP())
+	}
+	res, err := marchgen.Generate(*faults, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchgen:", err)
+		os.Exit(1)
+	}
+	if *ascii {
+		fmt.Printf("%s   (%dn)\n", res.Test.ASCII(), res.Complexity)
+	} else {
+		fmt.Printf("%s   (%dn)\n", res.Test, res.Complexity)
+	}
+	if *stats {
+		fmt.Printf("fault instances: %d\n", len(res.Instances))
+		fmt.Printf("BFE classes:     %d (selections enumerated: %d)\n", res.Stats.Classes, res.Stats.Selections)
+		fmt.Printf("TPG nodes:       %d (optimal visit cost %d)\n", res.Stats.TPGNodes, res.Stats.PathCost)
+		fmt.Printf("candidates:      %d\n", res.Stats.Candidates)
+		fmt.Printf("elapsed:         %s\n", res.Stats.Elapsed)
+	}
+	if *verify {
+		rep, err := marchgen.Verify(res.Test, *faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchgen: verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("coverage: complete=%v non-redundant=%v (%d instances)\n",
+			rep.Complete, rep.NonRedundant, len(rep.Instances))
+		if !rep.Complete {
+			fmt.Printf("missed: %s\n", strings.Join(rep.Missed, ", "))
+			os.Exit(1)
+		}
+	}
+}

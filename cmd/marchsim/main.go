@@ -1,0 +1,104 @@
+// Command marchsim runs the memory fault simulator: it verifies a March
+// test — given inline or by its classic name — against a fault list and
+// prints the per-instance coverage and the Section 6 non-redundancy
+// analysis.
+//
+//	marchsim -known MarchC- -faults SAF,TF,ADF,CFin,CFid
+//	marchsim -test '{ any(w0); up(r0,w1); down(r1,w0) }' -faults SAF,TF
+//	marchsim -known MATS+ -faults SAF -cells 16    # n-cell engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marchgen"
+	"marchgen/march"
+)
+
+func main() {
+	testStr := flag.String("test", "", "March test in conventional notation")
+	knownName := flag.String("known", "", "name of a classic March test (see -list)")
+	list := flag.Bool("list", false, "print the classic March test library and exit")
+	faults := flag.String("faults", "SAF", "comma-separated fault list")
+	cells := flag.Int("cells", 0, "also re-validate with the n-cell memory simulator")
+	perInstance := flag.Bool("per-instance", false, "print one line per fault instance")
+	flag.Parse()
+
+	if *list {
+		for _, name := range march.KnownNames() {
+			kt, _ := march.Known(name)
+			fmt.Printf("%-8s %2dn  %-52s %s\n", name, kt.Complexity, kt.Test, kt.Source)
+		}
+		return
+	}
+
+	var test *march.Test
+	switch {
+	case *knownName != "":
+		kt, ok := march.Known(*knownName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "marchsim: unknown test %q (known: %s)\n",
+				*knownName, strings.Join(march.KnownNames(), ", "))
+			os.Exit(1)
+		}
+		test = kt.Test
+	case *testStr != "":
+		var err error
+		test, err = march.Parse(*testStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "marchsim: pass -test or -known (or -list)")
+		os.Exit(2)
+	}
+
+	rep, err := marchgen.Verify(test, *faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("test:      %s   (%dn)\n", rep.Test, rep.Complexity)
+	fmt.Printf("faults:    %s (%d instances)\n", *faults, len(rep.Instances))
+	fmt.Printf("complete:  %v\n", rep.Complete)
+	if rep.Complete {
+		fmt.Printf("redundant: %v", !rep.NonRedundant)
+		if len(rep.RemovableOps) > 0 {
+			fmt.Printf(" (removable ops %v)", rep.RemovableOps)
+		}
+		if len(rep.RedundantReads) > 0 {
+			fmt.Printf(" (redundant reads %v)", rep.RedundantReads)
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("missed:    %s\n", strings.Join(rep.Missed, ", "))
+	}
+	if *perInstance {
+		for _, inst := range rep.Instances {
+			verdict := "DETECTED"
+			if !inst.Detected {
+				verdict = "MISSED"
+			}
+			fmt.Printf("  %-28s %-8s detecting reads (op indices): %v\n", inst.Name, verdict, inst.DetectingOps)
+		}
+	}
+	if *cells > 0 {
+		nrep, err := marchgen.VerifyN(test, *faults, *cells)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("n-cell engine (%d cells): complete=%v\n", *cells, nrep.Complete)
+		if nrep.Complete != rep.Complete {
+			fmt.Fprintln(os.Stderr, "marchsim: engines disagree — please report a bug")
+			os.Exit(1)
+		}
+	}
+	if !rep.Complete {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command marchtable regenerates every table and figure of the paper's
+// evaluation and, with -write, refreshes EXPERIMENTS.md:
+//
+//	marchtable                # print Table 3, Figure 4 and the comparisons
+//	marchtable -write         # rewrite EXPERIMENTS.md in the repo root
+//	marchtable -write -deep   # include the ~20 s optimality certifications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"marchgen/internal/experiments"
+)
+
+func main() {
+	write := flag.Bool("write", false, "rewrite EXPERIMENTS.md instead of printing to stdout")
+	out := flag.String("o", "EXPERIMENTS.md", "output path used with -write")
+	deep := flag.Bool("deep", false, "include the heavyweight branch-and-bound certifications")
+	flag.Parse()
+
+	body, err := experiments.Report(*deep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchtable:", err)
+		os.Exit(1)
+	}
+	if !*write {
+		fmt.Print(body)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "marchtable:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

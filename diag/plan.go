@@ -1,0 +1,126 @@
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"marchgen/fault"
+	"marchgen/march"
+)
+
+// Plan is a multi-test diagnostic procedure: a sequence of March tests
+// applied (each from a power-cycled memory) whose combined syndromes
+// maximise fault resolution.
+type Plan struct {
+	Tests []*march.Test
+	dicts []*Dictionary
+	names []string
+}
+
+// BuildPlan greedily selects tests from the pool until no additional test
+// improves resolution: at each step the test splitting the most ambiguity
+// is added. The classic March library plus a generated test make a good
+// pool.
+func BuildPlan(models []fault.Model, pool []*march.Test) (*Plan, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("diag: empty test pool")
+	}
+	dicts := make([]*Dictionary, len(pool))
+	for k, t := range pool {
+		d, err := Build(t, models)
+		if err != nil {
+			return nil, fmt.Errorf("diag: pool test %s: %w", t, err)
+		}
+		dicts[k] = d
+	}
+	names := dicts[0].Instances()
+
+	plan := &Plan{}
+	chosen := map[int]bool{}
+	for {
+		bestK, bestScore := -1, plan.classCount(names)
+		for k := range pool {
+			if chosen[k] {
+				continue
+			}
+			trial := &Plan{
+				Tests: append(append([]*march.Test(nil), plan.Tests...), pool[k]),
+				dicts: append(append([]*Dictionary(nil), plan.dicts...), dicts[k]),
+			}
+			if score := trial.classCount(names); score > bestScore {
+				bestK, bestScore = k, score
+			}
+		}
+		if bestK < 0 {
+			break
+		}
+		chosen[bestK] = true
+		plan.Tests = append(plan.Tests, pool[bestK])
+		plan.dicts = append(plan.dicts, dicts[bestK])
+	}
+	plan.names = names
+	if len(plan.Tests) == 0 {
+		// No test distinguishes anything beyond a single class; keep the
+		// first pool entry so the plan is at least a detector.
+		plan.Tests = []*march.Test{pool[0]}
+		plan.dicts = []*Dictionary{dicts[0]}
+	}
+	return plan, nil
+}
+
+// Distinguishes reports whether some test of the plan always separates the
+// two instances.
+func (p *Plan) Distinguishes(a, b string) bool {
+	for _, d := range p.dicts {
+		if d.Distinguishes(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// classCount scores a plan: the number of ambiguity classes it induces
+// (higher is better; equal to len(names) means full resolution).
+func (p *Plan) classCount(names []string) int {
+	return len(ambiguity(names, p.Distinguishes))
+}
+
+// AmbiguityClasses partitions the fault list under the whole plan.
+func (p *Plan) AmbiguityClasses() [][]string {
+	return ambiguity(p.names, p.Distinguishes)
+}
+
+// Resolution returns the fraction of dictionary entries that the plan
+// diagnoses down to a singleton class.
+func (p *Plan) Resolution() float64 {
+	classes := p.AmbiguityClasses()
+	singletons := 0
+	for _, c := range classes {
+		if len(c) == 1 {
+			singletons++
+		}
+	}
+	return float64(singletons) / float64(len(p.names))
+}
+
+// Diagnose intersects the per-test diagnoses of observed syndromes, one
+// syndrome per plan test, in order.
+func (p *Plan) Diagnose(observed []Syndrome) ([]string, error) {
+	if len(observed) != len(p.Tests) {
+		return nil, fmt.Errorf("diag: %d syndromes for a %d-test plan", len(observed), len(p.Tests))
+	}
+	counts := map[string]int{}
+	for k, d := range p.dicts {
+		for _, name := range d.Diagnose(observed[k]) {
+			counts[name]++
+		}
+	}
+	var out []string
+	for name, c := range counts {
+		if c == len(p.dicts) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

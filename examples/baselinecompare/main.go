@@ -1,0 +1,40 @@
+// Baseline comparison: measure the paper's pipeline against the prior-art
+// generators it displaces — the exhaustive transition-tree enumeration of
+// van de Goor & Smit and the pruned branch-and-bound of Zarrineh et al. —
+// on fault lists of growing difficulty. All three return March tests of
+// the same (provably optimal) complexity; the running times differ by
+// orders of magnitude, which is the paper's point.
+//
+//	go run ./examples/baselinecompare           # fast subset
+//	go run ./examples/baselinecompare -deep     # adds the 10n March C- row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"marchgen/internal/experiments"
+)
+
+func main() {
+	deep := flag.Bool("deep", false, "include the ~20 s 10n certification")
+	flag.Parse()
+
+	rows, err := experiments.Comparison(*deep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s | %-18s | %-28s | %-22s\n",
+		"fault list", "pipeline (paper)", "branch & bound [5]", "exhaustive [2-4]")
+	fmt.Println("-----------------------+--------------------+------------------------------+----------------------")
+	for _, r := range rows {
+		ex := "infeasible, skipped"
+		if !r.ExSkipped {
+			ex = fmt.Sprintf("%dn in %v (%d tests)", r.ExComplexity, r.ExTime, r.ExTests)
+		}
+		fmt.Printf("%-22s | %dn in %-12v | %dn in %-12v (%d nodes) | %s\n",
+			r.Faults, r.CoreComplexity, r.CoreTime, r.BBComplexity, r.BBTime, r.BBNodes, ex)
+	}
+	fmt.Println("\nSame optima everywhere; only the pipeline's cost stays flat as the fault list grows.")
+}

@@ -1,0 +1,59 @@
+// Diagnosis: beyond pass/fail, the trace of failing reads (the syndrome)
+// identifies which defect is present. This example builds the fault
+// dictionary of March C- for a mixed fault list, shows how an observed
+// syndrome maps back to candidate defects, and assembles a multi-test
+// diagnostic plan that tells apart what a single test cannot.
+//
+//	go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"marchgen/diag"
+	"marchgen/fault"
+	"marchgen/march"
+)
+
+func main() {
+	models, err := fault.ParseList("SAF,TF,CFid")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kt, _ := march.Known("MarchC-")
+
+	dict, err := diag.Build(kt.Test, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dict)
+
+	// A tester observed failing reads at operations 3 and 7 — who did it?
+	observed := diag.Syndrome{3, 7}
+	fmt.Printf("observed syndrome {%s} -> candidates %v\n\n", observed.Key(), dict.Diagnose(observed))
+
+	fmt.Println("ambiguity classes under March C- alone:")
+	for _, class := range dict.AmbiguityClasses() {
+		fmt.Printf("  %v\n", class)
+	}
+
+	// A plan drawing on more tests sharpens the diagnosis.
+	pool := []*march.Test{}
+	for _, name := range []string{"MarchC-", "MATS++", "MarchY", "MarchA"} {
+		k, _ := march.Known(name)
+		pool = append(pool, k.Test)
+	}
+	plan, err := diag.BuildPlan(models, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan uses %d tests, resolution %.0f%%:\n", len(plan.Tests), plan.Resolution()*100)
+	for _, t := range plan.Tests {
+		fmt.Printf("  %s\n", t)
+	}
+	fmt.Println("ambiguity classes under the plan:")
+	for _, class := range plan.AmbiguityClasses() {
+		fmt.Printf("  %v\n", class)
+	}
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"fmt"
+
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// PatternForDeviation derives the Test Pattern TP = (I, E, O) covering a
+// single deviation, following the paper's Section 3:
+//
+//   - the initialisation state I is the deviation's trigger state;
+//   - the excitation E is the triggering operation (empty when the
+//     deviation is a pure read-output fault, because the observing read
+//     itself excites it);
+//   - the observation O reads the cell whose faulty value differs from the
+//     fault-free one.
+func PatternForDeviation(dev fsm.Deviation) (fsm.Pattern, error) {
+	good := fsm.Good()
+	init := dev.When
+
+	// Pure output deviation: the triggering read observes the wrong value
+	// directly, provided the fault-free value is known and different.
+	if dev.Next == nil {
+		if dev.Out == nil {
+			return fsm.Pattern{}, fmt.Errorf("fault: deviation %s has no effect", dev)
+		}
+		if !dev.On.IsRead() {
+			return fsm.Pattern{}, fmt.Errorf("fault: output deviation %s must trigger on a read", dev)
+		}
+		p := fsm.NewPattern(constrainRead(init, dev.On, *dev.Out), nil, dev.On)
+		if err := p.Validate(); err != nil {
+			return fsm.Pattern{}, err
+		}
+		if p.GoodObservation() == *dev.Out {
+			return fsm.Pattern{}, fmt.Errorf("fault: output deviation %s is unobservable", dev)
+		}
+		return p, nil
+	}
+
+	// Transition deviation (possibly combined with an output deviation):
+	// compare fault-free and faulty next states and observe a corrupted
+	// cell. When the combined output deviation already exposes the fault
+	// at the trigger itself, observe there.
+	goodNext := good.Next(init, dev.On)
+	faultyNext := goodNext.Merge(*dev.Next)
+	if dev.Out != nil && dev.On.IsRead() {
+		p := fsm.NewPattern(constrainRead(init, dev.On, *dev.Out), nil, dev.On)
+		if err := p.Validate(); err == nil && p.GoodObservation() != *dev.Out {
+			return p, nil
+		}
+	}
+	for _, c := range fsm.Cells() {
+		g, f := goodNext.Get(c), faultyNext.Get(c)
+		if g.Known() && f.Known() && g != f {
+			p := fsm.NewPattern(init, []fsm.Input{dev.On}, fsm.Rd(c))
+			if err := p.Validate(); err != nil {
+				return fsm.Pattern{}, err
+			}
+			return p, nil
+		}
+		// The corrupted cell's fault-free value may be unconstrained by
+		// the trigger state (e.g. a forcing deviation); pin it to the
+		// complement of the faulty value so the corruption is observable.
+		if !g.Known() && f.Known() {
+			pinned := init.With(c, f.Not())
+			p := fsm.NewPattern(pinned, []fsm.Input{dev.On}, fsm.Rd(c))
+			if err := p.Validate(); err != nil {
+				return fsm.Pattern{}, err
+			}
+			return p, nil
+		}
+	}
+	return fsm.Pattern{}, fmt.Errorf("fault: transition deviation %s is unobservable", dev)
+}
+
+// constrainRead pins the read cell of an output-deviation pattern to a
+// concrete value when the trigger state leaves it free, choosing the
+// complement of the faulty output so the mismatch is guaranteed.
+func constrainRead(init fsm.State, read fsm.Input, out march.Bit) fsm.State {
+	if init.Get(read.Cell).Known() {
+		return init
+	}
+	if out.Known() {
+		return init.With(read.Cell, out.Not())
+	}
+	return init.With(read.Cell, march.Zero)
+}
+
+// FromDeviations builds a deviation-modelled fault instance: the machine
+// carries every deviation, and each deviation contributes one BFE with an
+// automatically derived pattern. The instance is validated before being
+// returned.
+func FromDeviations(model, name string, conjunctive bool, devs ...fsm.Deviation) (Instance, error) {
+	if len(devs) == 0 {
+		return Instance{}, fmt.Errorf("fault: instance %s has no deviations", name)
+	}
+	inst := Instance{
+		Model:       model,
+		Name:        name,
+		Machine:     fsm.WithDeviations(name, devs...),
+		Conjunctive: conjunctive,
+	}
+	for k := range devs {
+		dev := devs[k]
+		p, err := PatternForDeviation(dev)
+		if err != nil {
+			return Instance{}, fmt.Errorf("fault: instance %s: %w", name, err)
+		}
+		inst.BFEs = append(inst.BFEs, BFE{
+			Name:      fmt.Sprintf("bfe%d %s", k, dev),
+			Pattern:   p,
+			Deviation: &dev,
+		})
+	}
+	if err := inst.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return inst, nil
+}
+
+// mustFromDeviations is FromDeviations for the package-internal library,
+// where a failure is a programming error.
+func mustFromDeviations(model, name string, conjunctive bool, devs ...fsm.Deviation) Instance {
+	inst, err := FromDeviations(model, name, conjunctive, devs...)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}

@@ -1,0 +1,20 @@
+// Package fault is the memory fault-model library of the March test
+// generator: a catalogue of classical RAM fault models expressed on the
+// two-cell behavioural memory model of package fsm, plus support for
+// user-defined faults (the paper's "unconstrained set of memory faults").
+//
+// Each fault Model expands into concrete Instances — one per defect
+// hypothesis, covering both aggressor/victim address orders for two-cell
+// faults and every remapping direction for address-decoder faults. Each
+// instance carries its faulty Mealy machine and its Basic Fault Effects
+// (BFEs), each paired with the Test Pattern TP = (I, E, O) that excites and
+// observes it. BFE patterns are derived automatically from the δ/λ
+// deviations (PatternForDeviation) and validated against the instance's
+// machine under the guaranteed-detection semantics, so a library or user
+// error cannot silently produce an unsound pattern.
+//
+// Built-in models: SAF (stuck-at), TF (transition), WDF (write
+// destructive), RDF / DRDF / IRF (read faults per Niggemeyer et al.), SOF
+// (stuck-open), DRF (data retention), ADF (address decoder, van de Goor's
+// four types), CFin / CFid / CFst (inversion, idempotent, state coupling).
+package fault

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"fmt"
+
+	"marchgen/fsm"
+)
+
+// BFE is a Basic Fault Effect: one elementary way a fault instance departs
+// from the fault-free memory, together with the Test Pattern that excites
+// and observes it (paper §3).
+type BFE struct {
+	// Name identifies the effect within its instance, e.g. "flip 0->1".
+	Name string
+	// Pattern is the test pattern TP = (I, E, O) covering this BFE.
+	Pattern fsm.Pattern
+	// Deviation is the δ/λ deviation producing the effect, when the
+	// instance is deviation-modelled (nil for address-fault instances,
+	// whose behaviour is a whole remapping rather than a single edge).
+	Deviation *fsm.Deviation
+}
+
+// Instance is one concrete defect hypothesis expressed on the two-cell
+// memory model: a faulty Mealy machine plus its Basic Fault Effects.
+//
+// For a disjunctive instance (the default), covering any single BFE
+// guarantees detection of the defect — the BFEs form one equivalence class
+// in the sense of the paper's Section 5. For a conjunctive instance (e.g. a
+// stuck-open cell, whose frozen value is unknown), every BFE's pattern must
+// appear in the test to guarantee detection for every initial content.
+type Instance struct {
+	// Model is the name of the owning fault model, e.g. "CFid".
+	Model string
+	// Name identifies the instance, e.g. "CFid<u,0> agg=i".
+	Name string
+	// Machine is the faulty two-cell machine.
+	Machine fsm.Machine
+	// BFEs are the instance's basic fault effects, each with its pattern.
+	BFEs []BFE
+	// Conjunctive marks instances requiring all BFE patterns (see above).
+	Conjunctive bool
+}
+
+// Validate checks the internal consistency of the instance: each pattern
+// must be well-formed, and the patterns must actually guarantee detection
+// of the instance's machine — each one individually for a disjunctive
+// instance, their concatenation for a conjunctive one.
+func (inst Instance) Validate() error {
+	if len(inst.BFEs) == 0 {
+		return fmt.Errorf("fault: instance %s has no BFEs", inst.Name)
+	}
+	for _, b := range inst.BFEs {
+		if err := b.Pattern.Validate(); err != nil {
+			return fmt.Errorf("fault: instance %s, BFE %s: %w", inst.Name, b.Name, err)
+		}
+	}
+	if inst.Conjunctive {
+		var seq []fsm.Input
+		for _, b := range inst.BFEs {
+			seq = append(seq, b.Pattern.Sequence()...)
+		}
+		if !fsm.Detects(inst.Machine, seq) {
+			return fmt.Errorf("fault: instance %s: concatenated BFE patterns do not detect it", inst.Name)
+		}
+		return nil
+	}
+	for _, b := range inst.BFEs {
+		if !fsm.DetectsPattern(inst.Machine, b.Pattern) &&
+			!fsm.DetectsPatternEstablished(inst.Machine, b.Pattern) {
+			return fmt.Errorf("fault: instance %s: pattern %s of BFE %s does not detect it",
+				inst.Name, b.Pattern, b.Name)
+		}
+	}
+	return nil
+}
+
+// Model is a named memory fault model: a family of fault instances that a
+// test must all detect to claim coverage of the model.
+type Model struct {
+	// Name is the canonical model name, e.g. "SAF", "CFid", "ADF".
+	Name string
+	// Description is a one-line human description.
+	Description string
+	// Instances are the concrete defect hypotheses of the model.
+	Instances []Instance
+}
+
+// Custom assembles a user-defined fault model from explicit instances,
+// fulfilling the paper's goal of an extensible, unconstrained fault list.
+// Each instance is validated.
+func Custom(name, description string, instances ...Instance) (Model, error) {
+	if name == "" {
+		return Model{}, fmt.Errorf("fault: custom model needs a name")
+	}
+	if len(instances) == 0 {
+		return Model{}, fmt.Errorf("fault: custom model %s has no instances", name)
+	}
+	for i := range instances {
+		if instances[i].Model == "" {
+			instances[i].Model = name
+		}
+		if err := instances[i].Validate(); err != nil {
+			return Model{}, err
+		}
+	}
+	return Model{Name: name, Description: description, Instances: instances}, nil
+}
+
+// Instances flattens the instance lists of several models, preserving
+// order and skipping duplicates by instance name.
+func Instances(models []Model) []Instance {
+	var out []Instance
+	seen := map[string]bool{}
+	for _, m := range models {
+		for _, inst := range m.Instances {
+			if seen[inst.Name] {
+				continue
+			}
+			seen[inst.Name] = true
+			out = append(out, inst)
+		}
+	}
+	return out
+}

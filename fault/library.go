@@ -1,0 +1,330 @@
+package fault
+
+import (
+	"fmt"
+
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// Shorthands used throughout the library definitions.
+var (
+	b0 = march.Zero
+	b1 = march.One
+	bx = march.X
+	ci = fsm.CellI
+	cj = fsm.CellJ
+)
+
+func st(i, j march.Bit) fsm.State { return fsm.S(i, j) }
+
+// dirString renders a transition direction for fault names: "u" for a
+// rising (0→1) aggressor write, "d" for a falling one.
+func dirString(up bool) string {
+	if up {
+		return "u"
+	}
+	return "d"
+}
+
+// saf builds the stuck-at fault model. A stuck-at-d cell ignores writes of
+// the complementary value: the deviation forces the cell back to d from any
+// state, which also captures the cell's power-up content being d.
+func saf() Model {
+	sa0 := mustFromDeviations("SAF", "SA0", false,
+		fsm.TransitionDev(fsm.Unknown, fsm.Wr(ci, b1), st(b0, bx)))
+	sa1 := mustFromDeviations("SAF", "SA1", false,
+		fsm.TransitionDev(fsm.Unknown, fsm.Wr(ci, b0), st(b1, bx)))
+	return Model{
+		Name:        "SAF",
+		Description: "stuck-at faults: a cell is permanently 0 (SA0) or 1 (SA1)",
+		Instances:   []Instance{sa0, sa1},
+	}
+}
+
+// tf builds the transition fault model: the cell fails a specific 0→1 or
+// 1→0 transition but can hold either value.
+func tf() Model {
+	up := mustFromDeviations("TF", "TF<u>", false,
+		fsm.TransitionDev(st(b0, bx), fsm.Wr(ci, b1), st(b0, bx)))
+	down := mustFromDeviations("TF", "TF<d>", false,
+		fsm.TransitionDev(st(b1, bx), fsm.Wr(ci, b0), st(b1, bx)))
+	return Model{
+		Name:        "TF",
+		Description: "transition faults: a cell fails its up (TF<u>) or down (TF<d>) transition",
+		Instances:   []Instance{up, down},
+	}
+}
+
+// wdf builds the write destructive fault model: a non-transition write
+// (writing the value already stored) flips the cell.
+func wdf() Model {
+	var insts []Instance
+	for _, d := range []march.Bit{b0, b1} {
+		name := fmt.Sprintf("WDF<%s>", d)
+		insts = append(insts, mustFromDeviations("WDF", name, false,
+			fsm.TransitionDev(st(d, bx), fsm.Wr(ci, d), st(d.Not(), bx))))
+	}
+	return Model{
+		Name:        "WDF",
+		Description: "write destructive faults: a non-transition write flips the cell",
+		Instances:   insts,
+	}
+}
+
+// rdf builds the read destructive fault model: a read flips the cell and
+// returns the flipped value.
+func rdf() Model {
+	var insts []Instance
+	for _, d := range []march.Bit{b0, b1} {
+		name := fmt.Sprintf("RDF<%s>", d)
+		insts = append(insts, mustFromDeviations("RDF", name, false,
+			fsm.TransitionOutputDev(st(d, bx), fsm.Rd(ci), st(d.Not(), bx), d.Not())))
+	}
+	return Model{
+		Name:        "RDF",
+		Description: "read destructive faults: a read flips the cell and returns the flipped value",
+		Instances:   insts,
+	}
+}
+
+// drdf builds the deceptive read destructive fault model: a read flips the
+// cell but still returns the correct value, so a second read is needed.
+func drdf() Model {
+	var insts []Instance
+	for _, d := range []march.Bit{b0, b1} {
+		name := fmt.Sprintf("DRDF<%s>", d)
+		insts = append(insts, mustFromDeviations("DRDF", name, false,
+			fsm.TransitionDev(st(d, bx), fsm.Rd(ci), st(d.Not(), bx))))
+	}
+	return Model{
+		Name:        "DRDF",
+		Description: "deceptive read destructive faults: a read flips the cell but returns the old value",
+		Instances:   insts,
+	}
+}
+
+// irf builds the incorrect read fault model: a read returns the wrong value
+// without disturbing the cell.
+func irf() Model {
+	var insts []Instance
+	for _, d := range []march.Bit{b0, b1} {
+		name := fmt.Sprintf("IRF<%s>", d)
+		insts = append(insts, mustFromDeviations("IRF", name, false,
+			fsm.OutputDev(st(d, bx), fsm.Rd(ci), d.Not())))
+	}
+	return Model{
+		Name:        "IRF",
+		Description: "incorrect read faults: a read returns the complement of the stored value",
+		Instances:   insts,
+	}
+}
+
+// sof builds the stuck-open fault model: the cell cannot be written at all
+// and is frozen at its (unknown) power-up value. The instance is
+// conjunctive: both the r0-after-w0 and r1-after-w1 patterns are required,
+// because either frozen value escapes one of them.
+func sof() Model {
+	inst := mustFromDeviations("SOF", "SOF", true,
+		fsm.TransitionDev(st(b0, bx), fsm.Wr(ci, b1), st(b0, bx)),
+		fsm.TransitionDev(st(b1, bx), fsm.Wr(ci, b0), st(b1, bx)))
+	return Model{
+		Name:        "SOF",
+		Description: "stuck-open faults: the cell is inaccessible for writes and frozen at its power-up value",
+		Instances:   []Instance{inst},
+	}
+}
+
+// drf builds the data retention fault model: after the wait period T the
+// cell leaks to a fixed value.
+func drf() Model {
+	var insts []Instance
+	for _, d := range []march.Bit{b0, b1} {
+		name := fmt.Sprintf("DRF<%s>", d.Not())
+		insts = append(insts, mustFromDeviations("DRF", name, false,
+			fsm.TransitionDev(st(d, bx), fsm.Wait, st(d.Not(), bx))))
+	}
+	return Model{
+		Name:        "DRF",
+		Description: "data retention faults: the cell leaks to a fixed value during the wait period T",
+		Instances:   insts,
+	}
+}
+
+// cfin builds the inversion coupling fault model: a rising or falling write
+// on the aggressor inverts the victim, whatever its value. Each instance
+// carries two BFEs (victim 0→1 and 1→0); covering either one certifies
+// detection — the paper's Section 5 equivalence example.
+func cfin() Model {
+	var insts []Instance
+	for _, up := range []bool{true, false} {
+		from, to := b0, b1
+		if !up {
+			from, to = b1, b0
+		}
+		for _, agg := range fsm.Cells() {
+			vic := agg.Other()
+			name := fmt.Sprintf("CFin<%s> agg=%s", dirString(up), agg)
+			flip01 := fsm.TransitionDev(
+				st(bx, bx).With(agg, from).With(vic, b0), fsm.Wr(agg, to),
+				st(bx, bx).With(vic, b1))
+			flip10 := fsm.TransitionDev(
+				st(bx, bx).With(agg, from).With(vic, b1), fsm.Wr(agg, to),
+				st(bx, bx).With(vic, b0))
+			insts = append(insts, mustFromDeviations("CFin", name, false, flip01, flip10))
+		}
+	}
+	return Model{
+		Name:        "CFin",
+		Description: "inversion coupling faults: an aggressor transition inverts the victim cell",
+		Instances:   insts,
+	}
+}
+
+// cfid builds the idempotent coupling fault model ⟨t;d⟩: an aggressor
+// transition t forces the victim to d.
+func cfid() Model {
+	var insts []Instance
+	for _, up := range []bool{true, false} {
+		from, to := b0, b1
+		if !up {
+			from, to = b1, b0
+		}
+		for _, d := range []march.Bit{b0, b1} {
+			for _, agg := range fsm.Cells() {
+				vic := agg.Other()
+				name := fmt.Sprintf("CFid<%s,%s> agg=%s", dirString(up), d, agg)
+				dev := fsm.TransitionDev(
+					st(bx, bx).With(agg, from).With(vic, d.Not()), fsm.Wr(agg, to),
+					st(bx, bx).With(vic, d))
+				insts = append(insts, mustFromDeviations("CFid", name, false, dev))
+			}
+		}
+	}
+	return Model{
+		Name:        "CFid",
+		Description: "idempotent coupling faults ⟨t;d⟩: an aggressor transition forces the victim to d",
+		Instances:   insts,
+	}
+}
+
+// cfst builds the state coupling fault model ⟨a;v⟩: while the aggressor
+// holds value a, the victim is forced to v. Each instance has two BFEs:
+// the victim refuses the complementary write, and the aggressor's
+// transition into a corrupts the victim.
+func cfst() Model {
+	var insts []Instance
+	for _, a := range []march.Bit{b0, b1} {
+		for _, v := range []march.Bit{b0, b1} {
+			for _, agg := range fsm.Cells() {
+				vic := agg.Other()
+				name := fmt.Sprintf("CFst<%s,%s> agg=%s", a, v, agg)
+				refuse := fsm.TransitionDev(
+					st(bx, bx).With(agg, a), fsm.Wr(vic, v.Not()),
+					st(bx, bx).With(vic, v))
+				corrupt := fsm.TransitionDev(
+					st(bx, bx).With(agg, a.Not()).With(vic, v.Not()), fsm.Wr(agg, a),
+					st(bx, bx).With(vic, v))
+				insts = append(insts, mustFromDeviations("CFst", name, false, refuse, corrupt))
+			}
+		}
+	}
+	return Model{
+		Name:        "CFst",
+		Description: "state coupling faults ⟨a;v⟩: the victim is forced to v while the aggressor holds a",
+		Instances:   insts,
+	}
+}
+
+// af builds the address decoder fault model following van de Goor's four AF
+// types, expressed as address-to-cell access remappings: an address maps to
+// no cell (with a floating read line), to the wrong cell, or to several
+// cells (with wired-OR or wired-AND read combination).
+func af() Model {
+	var insts []Instance
+
+	// Type A: an address accesses no cell; the read line floats at f.
+	for _, f := range []march.Bit{b0, b1} {
+		m := fsm.AccessMap{
+			Name:   fmt.Sprintf("AF-A<float=%s>", f),
+			Writes: [2][]fsm.Cell{nil, {cj}},
+			Reads:  [2][]fsm.Cell{nil, {cj}},
+			Float:  f,
+		}
+		insts = append(insts, afInstance(m, []fsm.Pattern{
+			fsm.NewPattern(st(f.Not(), bx), nil, fsm.Rd(ci)),
+		}))
+	}
+
+	// Type B/C: an address accesses the wrong cell (and the displaced
+	// cell becomes unreachable, shared with the other address).
+	bij := fsm.AccessMap{
+		Name:   "AF-B<i->j>",
+		Writes: [2][]fsm.Cell{{cj}, {cj}},
+		Reads:  [2][]fsm.Cell{{cj}, {cj}},
+	}
+	insts = append(insts, afInstance(bij, []fsm.Pattern{
+		fsm.NewPattern(st(b0, bx), []fsm.Input{fsm.Wr(cj, b1)}, fsm.Rd(ci)),
+		fsm.NewPattern(st(b1, bx), []fsm.Input{fsm.Wr(cj, b0)}, fsm.Rd(ci)),
+	}))
+	bji := fsm.AccessMap{
+		Name:   "AF-B<j->i>",
+		Writes: [2][]fsm.Cell{{ci}, {ci}},
+		Reads:  [2][]fsm.Cell{{ci}, {ci}},
+	}
+	insts = append(insts, afInstance(bji, []fsm.Pattern{
+		fsm.NewPattern(st(bx, b0), []fsm.Input{fsm.Wr(ci, b1)}, fsm.Rd(cj)),
+		fsm.NewPattern(st(bx, b1), []fsm.Input{fsm.Wr(ci, b0)}, fsm.Rd(cj)),
+	}))
+
+	// Type D: an address accesses its own cell plus another one.
+	for _, comb := range []fsm.Comb{fsm.CombOr, fsm.CombAnd} {
+		d := b1 // the write value that disturbs the extra cell
+		if comb == fsm.CombAnd {
+			d = b0
+		}
+		dij := fsm.AccessMap{
+			Name:   fmt.Sprintf("AF-D<i->ij,%s>", comb),
+			Writes: [2][]fsm.Cell{{ci, cj}, {cj}},
+			Reads:  [2][]fsm.Cell{{ci, cj}, {cj}},
+			Comb:   comb,
+		}
+		insts = append(insts, afInstance(dij, []fsm.Pattern{
+			fsm.NewPattern(st(bx, d.Not()), []fsm.Input{fsm.Wr(ci, d)}, fsm.Rd(cj)),
+			fsm.NewPattern(st(d.Not(), d), nil, fsm.Rd(ci)),
+		}))
+		dji := fsm.AccessMap{
+			Name:   fmt.Sprintf("AF-D<j->ij,%s>", comb),
+			Writes: [2][]fsm.Cell{{ci}, {ci, cj}},
+			Reads:  [2][]fsm.Cell{{ci}, {ci, cj}},
+			Comb:   comb,
+		}
+		insts = append(insts, afInstance(dji, []fsm.Pattern{
+			fsm.NewPattern(st(d.Not(), bx), []fsm.Input{fsm.Wr(cj, d)}, fsm.Rd(ci)),
+			fsm.NewPattern(st(bx, d.Not()), []fsm.Input{fsm.Wr(ci, d)}, fsm.Rd(cj)),
+		}))
+	}
+
+	return Model{
+		Name:        "ADF",
+		Description: "address decoder faults: no access, wrong cell, or multiple cells per address",
+		Instances:   insts,
+	}
+}
+
+// afInstance assembles an address-fault instance from its access map and
+// hand-derived patterns, panicking if a pattern fails to detect the
+// machine (a library programming error, exercised by the package tests).
+func afInstance(m fsm.AccessMap, patterns []fsm.Pattern) Instance {
+	inst := Instance{Model: "ADF", Name: m.Name, Machine: m.Machine()}
+	for k, p := range patterns {
+		inst.BFEs = append(inst.BFEs, BFE{
+			Name:    fmt.Sprintf("bfe%d %s", k, p),
+			Pattern: p,
+		})
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}

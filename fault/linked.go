@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"fmt"
+
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// FromLinkedDeviations builds an instance of a *linked* fault: a single
+// defect whose deviations can mask one another (the classic example being
+// two coupling faults sharing a victim, where the second fault restores
+// the value the first one corrupted). Unlike FromDeviations, a derived
+// pattern is kept as an equivalence-class option only if it individually
+// guarantees detection of the *combined* machine — patterns neutralised by
+// masking are dropped. The instance is rejected when masking defeats every
+// pattern (the fault would need a richer excitation than single BFE
+// patterns provide).
+func FromLinkedDeviations(model, name string, devs ...fsm.Deviation) (Instance, error) {
+	if len(devs) < 2 {
+		return Instance{}, fmt.Errorf("fault: linked instance %s needs at least two deviations", name)
+	}
+	inst := Instance{
+		Model:   model,
+		Name:    name,
+		Machine: fsm.WithDeviations(name, devs...),
+	}
+	for k := range devs {
+		dev := devs[k]
+		p, err := PatternForDeviation(dev)
+		if err != nil {
+			// A deviation may be individually unobservable inside the
+			// linked machine; it still shapes the behaviour.
+			continue
+		}
+		if !fsm.DetectsPattern(inst.Machine, p) &&
+			!fsm.DetectsPatternEstablished(inst.Machine, p) {
+			continue // masked: not a usable observation point
+		}
+		inst.BFEs = append(inst.BFEs, BFE{
+			Name:      fmt.Sprintf("bfe%d %s", k, dev),
+			Pattern:   p,
+			Deviation: &dev,
+		})
+	}
+	if len(inst.BFEs) == 0 {
+		return Instance{}, fmt.Errorf("fault: linked instance %s: every pattern is masked", name)
+	}
+	if err := inst.Validate(); err != nil {
+		return Instance{}, err
+	}
+	return inst, nil
+}
+
+// lcf builds the linked idempotent coupling fault model: two idempotent
+// coupling faults with the same aggressor and victim but opposite
+// aggressor transitions, ⟨↑;d₁⟩ ∧ ⟨↓;d₂⟩. When d₁ = complement of d₂ the
+// pair is the hardest case of van de Goor's linked-fault taxonomy: a test
+// that excites both transitions back-to-back observes nothing.
+func lcf() Model {
+	var insts []Instance
+	for _, d1 := range []march.Bit{b0, b1} {
+		for _, d2 := range []march.Bit{b0, b1} {
+			for _, agg := range fsm.Cells() {
+				vic := agg.Other()
+				name := fmt.Sprintf("LCF<u,%s;d,%s> agg=%s", d1, d2, agg)
+				up := fsm.TransitionDev(
+					st(bx, bx).With(agg, b0).With(vic, d1.Not()), fsm.Wr(agg, b1),
+					st(bx, bx).With(vic, d1))
+				down := fsm.TransitionDev(
+					st(bx, bx).With(agg, b1).With(vic, d2.Not()), fsm.Wr(agg, b0),
+					st(bx, bx).With(vic, d2))
+				inst, err := FromLinkedDeviations("LCF", name, up, down)
+				if err != nil {
+					panic(err)
+				}
+				insts = append(insts, inst)
+			}
+		}
+	}
+	return Model{
+		Name:        "LCF",
+		Description: "linked idempotent coupling faults ⟨↑;d₁⟩ ∧ ⟨↓;d₂⟩: same aggressor/victim pair, potentially masking",
+		Instances:   insts,
+	}
+}

@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// builders maps canonical model names to their constructors. Models are
+// built lazily and cached: construction validates every instance, which
+// involves product-machine simulation.
+var builders = map[string]func() Model{
+	"SAF":  saf,
+	"TF":   tf,
+	"WDF":  wdf,
+	"RDF":  rdf,
+	"DRDF": drdf,
+	"IRF":  irf,
+	"SOF":  sof,
+	"DRF":  drf,
+	"CFIN": cfin,
+	"CFID": cfid,
+	"CFST": cfst,
+	"ADF":  af,
+	"LCF":  lcf,
+}
+
+// aliases maps accepted spellings to canonical names.
+var aliases = map[string]string{
+	"AF": "ADF",
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]Model{}
+)
+
+// ModelNames returns the canonical names of all built-in fault models,
+// sorted.
+func ModelNames() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		names[i] = canonicalSpelling(n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// canonicalSpelling restores the conventional mixed-case spelling of a
+// canonical (upper-case) model name.
+func canonicalSpelling(upper string) string {
+	switch upper {
+	case "CFIN":
+		return "CFin"
+	case "CFID":
+		return "CFid"
+	case "CFST":
+		return "CFst"
+	default:
+		return upper
+	}
+}
+
+// lookup returns the cached full model for a canonical name.
+func lookup(canonical string) (Model, bool) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if m, ok := cache[canonical]; ok {
+		return m, true
+	}
+	build, ok := builders[canonical]
+	if !ok {
+		return Model{}, false
+	}
+	m := build()
+	cache[canonical] = m
+	return m, true
+}
+
+// Parse resolves a fault-model name into a Model. Beyond the plain model
+// names (case-insensitive: "SAF", "TF", "ADF", "CFin", "CFid", "CFst",
+// "SOF", "DRF", "RDF", "DRDF", "IRF", "WDF"), a parameter list selects a
+// sub-model whose instance names start with the given variant, e.g.
+// "CFid<u,0>" (the ⟨↑;0⟩ idempotent coupling fault, both aggressor orders)
+// or "TF<u>".
+func Parse(name string) (Model, error) {
+	trimmed := strings.TrimSpace(name)
+	base := trimmed
+	variant := ""
+	if open := strings.IndexByte(trimmed, '<'); open >= 0 {
+		if !strings.HasSuffix(trimmed, ">") {
+			return Model{}, fmt.Errorf("fault: malformed fault name %q", name)
+		}
+		base = strings.TrimSpace(trimmed[:open])
+		variant = strings.ToLower(strings.ReplaceAll(trimmed[open:], " ", ""))
+	}
+	canonical := strings.ToUpper(base)
+	if alias, ok := aliases[canonical]; ok {
+		canonical = alias
+	}
+	// Convenience spellings for individual stuck-at faults.
+	switch canonical {
+	case "SA0":
+		canonical, variant = "SAF", "" // filtered below by instance name
+	case "SA1":
+		canonical, variant = "SAF", ""
+	}
+	m, ok := lookup(canonical)
+	if !ok {
+		return Model{}, fmt.Errorf("fault: unknown fault model %q (known: %s)",
+			name, strings.Join(ModelNames(), ", "))
+	}
+	filter := ""
+	switch strings.ToUpper(base) {
+	case "SA0", "SA1":
+		filter = strings.ToUpper(base)
+	default:
+		if variant != "" {
+			filter = canonicalSpelling(canonical) + variant
+		}
+	}
+	if filter == "" {
+		return m, nil
+	}
+	sub := Model{
+		Name:        trimmed,
+		Description: m.Description + " (variant " + trimmed + ")",
+	}
+	for _, inst := range m.Instances {
+		if strings.HasPrefix(strings.ToLower(inst.Name), strings.ToLower(filter)) {
+			sub.Instances = append(sub.Instances, inst)
+		}
+	}
+	if len(sub.Instances) == 0 {
+		return Model{}, fmt.Errorf("fault: fault model %q selects no instances", name)
+	}
+	return sub, nil
+}
+
+// ParseList parses a comma-separated fault list, e.g. "SAF,TF,ADF" or
+// "CFid<u,0>, CFid<u,1>".
+func ParseList(list string) ([]Model, error) {
+	var models []Model
+	for _, part := range splitList(list) {
+		m, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("fault: empty fault list %q", list)
+	}
+	return models, nil
+}
+
+// splitList splits on commas that are not inside <...> parameter lists.
+func splitList(list string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for k := 0; k < len(list); k++ {
+		switch list[k] {
+		case '<':
+			depth++
+		case '>':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				if p := strings.TrimSpace(list[start:k]); p != "" {
+					parts = append(parts, p)
+				}
+				start = k + 1
+			}
+		}
+	}
+	if p := strings.TrimSpace(list[start:]); p != "" {
+		parts = append(parts, p)
+	}
+	return parts
+}

@@ -1,0 +1,104 @@
+package fsm
+
+import "marchgen/march"
+
+// Comb selects how a read combines the values of several physical cells
+// when an address decoder fault makes one address sense more than one cell.
+// Which combination applies is a property of the memory technology; the
+// fault library instantiates both.
+type Comb uint8
+
+const (
+	// CombOr models wired-OR bit lines: the read returns 1 if any sensed
+	// cell holds 1.
+	CombOr Comb = iota
+	// CombAnd models wired-AND bit lines.
+	CombAnd
+)
+
+// String returns "or" or "and".
+func (c Comb) String() string {
+	if c == CombAnd {
+		return "and"
+	}
+	return "or"
+}
+
+// AccessMap describes an address-decoder fault (AF) as a remapping of
+// logical addresses to physical cells, following van de Goor's four AF
+// types: an address may access no cell, the wrong cell, several cells, or
+// share a cell with another address.
+type AccessMap struct {
+	Name string
+	// Writes[c] lists the physical cells actually written by a write to
+	// address c. An empty list loses the write.
+	Writes [2][]Cell
+	// Reads[c] lists the physical cells sensed by a read of address c.
+	// An empty list models a floating line returning Float.
+	Reads [2][]Cell
+	// Float is the value returned by a read whose line is floating.
+	Float march.Bit
+	// Comb combines multi-cell reads.
+	Comb Comb
+}
+
+// GoodAccess is the identity access map (no address fault).
+func GoodAccess() AccessMap {
+	return AccessMap{
+		Name:   "good-access",
+		Writes: [2][]Cell{{CellI}, {CellJ}},
+		Reads:  [2][]Cell{{CellI}, {CellJ}},
+	}
+}
+
+// Machine returns the Mealy machine implementing the access map.
+func (a AccessMap) Machine() Machine {
+	writes := a.Writes
+	reads := a.Reads
+	flt := a.Float
+	comb := a.Comb
+	next := func(s State, in Input) State {
+		if in.Kind != OpWrite {
+			return s
+		}
+		for _, c := range writes[in.Cell] {
+			s = s.With(c, in.Data)
+		}
+		return s
+	}
+	output := func(s State, in Input) march.Bit {
+		if in.Kind != OpRead {
+			return march.X
+		}
+		sensed := reads[in.Cell]
+		if len(sensed) == 0 {
+			return flt
+		}
+		v := s.Get(sensed[0])
+		for _, c := range sensed[1:] {
+			v = combine(comb, v, s.Get(c))
+		}
+		return v
+	}
+	return Machine{Name: a.Name, next: next, output: output}
+}
+
+// combine applies the ternary wired-OR / wired-AND of two cell values.
+func combine(c Comb, a, b march.Bit) march.Bit {
+	if c == CombOr {
+		if a == march.One || b == march.One {
+			return march.One
+		}
+		if a == march.Zero && b == march.Zero {
+			return march.Zero
+		}
+		return march.X
+	}
+	if a == march.Zero || b == march.Zero {
+		return march.Zero
+	}
+	if a == march.One && b == march.One {
+		return march.One
+	}
+	return march.X
+}

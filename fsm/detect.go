@@ -1,0 +1,202 @@
+package fsm
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// Run applies the input sequence to the machine from the given initial
+// state and returns the state after every input and the output of every
+// input (X for non-reads).
+func Run(m Machine, init State, seq []Input) (states []State, outputs []march.Bit) {
+	states = make([]State, len(seq))
+	outputs = make([]march.Bit, len(seq))
+	s := init
+	for k, in := range seq {
+		outputs[k] = m.Output(s, in)
+		s = m.Next(s, in)
+		states[k] = s
+	}
+	return states, outputs
+}
+
+// expectedOutputs returns the fault-free outputs of the sequence, computed
+// from the fully uninitialised state: a position is X when the good value
+// cannot be known (read before write), and such reads never count as
+// observations.
+func expectedOutputs(seq []Input) []march.Bit {
+	outs := make([]march.Bit, len(seq))
+	s := Unknown
+	for k, in := range seq {
+		outs[k] = goodOutput(s, in)
+		s = goodNext(s, in)
+	}
+	return outs
+}
+
+// Detects reports whether the input sequence is guaranteed to expose the
+// faulty machine m: for every possible initial memory content, at least one
+// read returns a value different from the fault-free memory's response.
+// Reads whose fault-free value is unknown are ignored.
+func Detects(m Machine, seq []Input) bool {
+	expect := expectedOutputs(seq)
+	for _, init := range ConcreteStates() {
+		s := init
+		found := false
+		for k, in := range seq {
+			if in.Kind == OpRead && mismatch(expect[k], m.Output(s, in)) {
+				found = true
+				break
+			}
+			s = m.Next(s, in)
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectingReads returns the indices of the reads in seq that individually
+// guarantee detection of m: the faulty output at that position differs from
+// the fault-free output for every possible initial memory content. These
+// positions are the "elementary blocks" usable in the paper's Coverage
+// Matrix.
+func DetectingReads(m Machine, seq []Input) []int {
+	expect := expectedOutputs(seq)
+	inits := ConcreteStates()
+	faulty := make([][]march.Bit, len(inits))
+	for v, init := range inits {
+		_, faulty[v] = Run(m, init, seq)
+	}
+	var idx []int
+	for k, in := range seq {
+		if !in.IsRead() {
+			continue
+		}
+		all := true
+		for v := range inits {
+			if !mismatch(expect[k], faulty[v][k]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			idx = append(idx, k)
+		}
+	}
+	return idx
+}
+
+// MismatchingReads returns the positions in seq whose reads expose the
+// faulty machine m for one specific initial memory content: the faulty
+// output differs from the (initialisation-independent) fault-free output.
+func MismatchingReads(m Machine, seq []Input, init State) []int {
+	expect := expectedOutputs(seq)
+	_, outs := Run(m, init, seq)
+	var idx []int
+	for k := range seq {
+		if mismatch(expect[k], outs[k]) {
+			idx = append(idx, k)
+		}
+	}
+	return idx
+}
+
+// mismatch reports whether a faulty output g is a guaranteed-observable
+// discrepancy from the expected output e: both values must be concrete.
+func mismatch(e, f march.Bit) bool {
+	return e.Known() && f.Known() && e != f
+}
+
+// searchState is the product-automaton state used by ShortestDetecting:
+// the fault-free state plus the faulty state reached from each of the four
+// possible initial contents, plus a bit set of the initial contents already
+// exposed by an earlier read.
+type searchState struct {
+	good     State
+	faulty   [4]State
+	detected uint8
+}
+
+// ShortestDetecting returns a shortest input sequence guaranteed to detect
+// the faulty machine m (in the sense of Detects), or an error if no such
+// sequence of length ≤ maxLen exists — which, in the paper's terms, means
+// the fault is undetectable (or requires a longer excitation than the
+// bound). The search is a breadth-first traversal of the product of the
+// good machine and the four initial-content runs of the faulty machine.
+func ShortestDetecting(m Machine, maxLen int) ([]Input, error) {
+	inits := ConcreteStates()
+	start := searchState{good: Unknown}
+	start.faulty = inits
+
+	type node struct {
+		state searchState
+		depth int
+	}
+	parent := map[searchState]struct {
+		prev searchState
+		in   Input
+	}{}
+	seen := map[searchState]bool{start: true}
+	queue := []node{{state: start}}
+	alphabet := Alphabet()
+
+	reconstruct := func(end searchState) []Input {
+		var rev []Input
+		cur := end
+		for cur != start {
+			p := parent[cur]
+			rev = append(rev, p.in)
+			cur = p.prev
+		}
+		seq := make([]Input, len(rev))
+		for k := range rev {
+			seq[k] = rev[len(rev)-1-k]
+		}
+		return seq
+	}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.depth >= maxLen {
+			continue
+		}
+		for _, in := range alphabet {
+			// Never read a cell whose fault-free value is unknown: the
+			// expected value of such a read is undefined.
+			if in.IsRead() && !goodOutput(n.state.good, in).Known() {
+				continue
+			}
+			next := searchState{
+				good:     goodNext(n.state.good, in),
+				detected: n.state.detected,
+			}
+			for v := range inits {
+				if in.IsRead() && n.state.detected&(1<<v) == 0 {
+					e := goodOutput(n.state.good, in)
+					f := m.Output(n.state.faulty[v], in)
+					if mismatch(e, f) {
+						next.detected |= 1 << v
+					}
+				}
+				next.faulty[v] = m.Next(n.state.faulty[v], in)
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			parent[next] = struct {
+				prev searchState
+				in   Input
+			}{n.state, in}
+			if next.detected == 0b1111 {
+				return reconstruct(next), nil
+			}
+			queue = append(queue, node{state: next, depth: n.depth + 1})
+		}
+	}
+	return nil, fmt.Errorf("fsm: no detecting sequence of length ≤ %d for %s", maxLen, m.Name)
+}

@@ -1,0 +1,25 @@
+// Package fsm implements the behavioural memory model of Benso, Di Carlo,
+// Di Natale and Prinetto, "An Optimal Algorithm for the Automatic
+// Generation of March Tests" (DATE 2002), Sections 2–3.
+//
+// A memory of two one-bit cells i and j (with address(i) < address(j)) is a
+// deterministic Mealy automaton M = (Q, X, Y, δ, λ): states are the cell
+// contents (with "–"/X for uninitialised cells), inputs are per-cell reads
+// and writes plus the wait symbol T, and outputs are read values. The good
+// memory is the machine M0 of the paper's Figure 1; a faulty memory departs
+// from M0 in one or more Basic Fault Effects (BFEs) — single-point δ or λ
+// deviations — or, for address-decoder faults, in a remapping of logical
+// addresses to physical cells (AccessMap).
+//
+// The two-cell model is sufficient to express every classical single-cell
+// and two-cell memory fault, because a March test applies the same
+// operations to every cell and only the relative address order of an
+// aggressor/victim pair matters.
+//
+// The package also provides the guaranteed-detection semantics used
+// throughout this module: a sequence detects a faulty machine if, for every
+// possible initial memory content, some read returns a value different from
+// the fault-free response. ShortestDetecting searches the product of the
+// good and faulty machines for a minimal detecting sequence; Pattern is the
+// paper's Test Pattern triplet TP = (I, E, O).
+package fsm

@@ -1,0 +1,69 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the machine as a Graphviz digraph over the four concrete
+// states, regenerating the paper's FSM figures (Figure 1 for the good
+// machine, Figure 2 for a faulty machine). Edges are grouped: all inputs
+// producing the same (source, destination, output) triple share one edge,
+// matching the figures' "(w0i, w0j, T) / -" labels. Deviating edges — those
+// whose destination or output differs from the good machine's — are drawn
+// bold, as in Figure 2.
+func Dot(m Machine) string {
+	good := Good()
+	type key struct {
+		from, to State
+		out      string
+	}
+	groups := map[key][]string{}
+	deviant := map[key]bool{}
+	for _, s := range ConcreteStates() {
+		for _, in := range Alphabet() {
+			to := m.Next(s, in)
+			out := m.Output(s, in).String()
+			k := key{from: s, to: to, out: out}
+			groups[k] = append(groups[k], in.String())
+			if to != good.Next(s, in) || out != good.Output(s, in).String() {
+				deviant[k] = true
+			}
+		}
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.from != kb.from {
+			return ka.from.String() < kb.from.String()
+		}
+		if ka.to != kb.to {
+			return ka.to.String() < kb.to.String()
+		}
+		return ka.out < kb.out
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("\trankdir=LR;\n\tnode [shape=circle];\n")
+	for _, s := range ConcreteStates() {
+		fmt.Fprintf(&b, "\t%q;\n", s.String())
+	}
+	for _, k := range keys {
+		label := strings.Join(groups[k], ", ")
+		if len(groups[k]) > 1 {
+			label = "(" + label + ")"
+		}
+		attrs := fmt.Sprintf("label=%q", label+" / "+k.out)
+		if deviant[k] {
+			attrs += ", style=bold, color=red"
+		}
+		fmt.Fprintf(&b, "\t%q -> %q [%s];\n", k.from.String(), k.to.String(), attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,419 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"marchgen/march"
+)
+
+// cfid0AggI is the BFE of the idempotent coupling fault ⟨↑;0⟩ with
+// aggressor i: a rising write on i forces j to 0 (the bold edge of the
+// paper's Figure 2 / left machine of Figure 3).
+func cfid0AggI() Deviation {
+	return TransitionDev(S(march.Zero, march.One), Wr(CellI, march.One), S(march.X, march.Zero))
+}
+
+// cfid0AggJ is the symmetric BFE with aggressor j.
+func cfid0AggJ() Deviation {
+	return TransitionDev(S(march.One, march.Zero), Wr(CellJ, march.One), S(march.Zero, march.X))
+}
+
+func TestGoodMachineSemantics(t *testing.T) {
+	m := Good()
+	for _, s := range ConcreteStates() {
+		for _, c := range Cells() {
+			for _, d := range []march.Bit{march.Zero, march.One} {
+				next := m.Next(s, Wr(c, d))
+				if next.Get(c) != d {
+					t.Errorf("write %v to %v in %v: got %v", d, c, s, next)
+				}
+				if next.Get(c.Other()) != s.Get(c.Other()) {
+					t.Errorf("write to %v disturbed other cell: %v -> %v", c, s, next)
+				}
+			}
+			if out := m.Output(s, Rd(c)); out != s.Get(c) {
+				t.Errorf("read %v in %v: got %v", c, s, out)
+			}
+			if next := m.Next(s, Rd(c)); next != s {
+				t.Errorf("read %v changed state %v -> %v", c, s, next)
+			}
+		}
+		if next := m.Next(s, Wait); next != s {
+			t.Errorf("wait changed state %v -> %v", s, next)
+		}
+		if out := m.Output(s, Wait); out != march.X {
+			t.Errorf("wait produced output %v", out)
+		}
+	}
+}
+
+// TestM0MatchesFigure1 checks the fault-free machine against the structure
+// of the paper's Figure 1: 4 states, and from each state exactly the edges
+// the figure draws (self-loops for reads, waits and idempotent writes;
+// cross edges for value-changing writes).
+func TestM0MatchesFigure1(t *testing.T) {
+	m := Good()
+	selfLoops := 0
+	crossEdges := 0
+	for _, s := range ConcreteStates() {
+		for _, in := range Alphabet() {
+			next := m.Next(s, in)
+			if next == s {
+				selfLoops++
+			} else {
+				crossEdges++
+			}
+		}
+	}
+	// Per state: reads (2) + wait (1) + idempotent writes (2) loop;
+	// the two value-changing writes leave. 4 states × {5 loops, 2 moves}.
+	if selfLoops != 20 || crossEdges != 8 {
+		t.Errorf("M0 structure: %d self-loops, %d cross edges; want 20, 8", selfLoops, crossEdges)
+	}
+	// Figure 1 spot checks: 00 --w1i--> 10 / -, 10 --ri--> 10 / 1.
+	if next := m.Next(S(march.Zero, march.Zero), Wr(CellI, march.One)); next != S(march.One, march.Zero) {
+		t.Errorf("00 --w1i--> %v", next)
+	}
+	if out := m.Output(S(march.One, march.Zero), Rd(CellI)); out != march.One {
+		t.Errorf("10 --ri--> out %v", out)
+	}
+}
+
+// TestFigure2Deviations checks that the machine M1 modelling the ⟨↑;0⟩
+// idempotent coupling fault differs from M0 in exactly the two bold edges
+// of Figure 2: 01 --w1i--> 10 and 10 --w1j--> 01.
+func TestFigure2Deviations(t *testing.T) {
+	m1 := WithDeviations("M1", cfid0AggI(), cfid0AggJ())
+	good := Good()
+	var devs []string
+	for _, s := range ConcreteStates() {
+		for _, in := range Alphabet() {
+			if m1.Next(s, in) != good.Next(s, in) {
+				devs = append(devs, s.String()+"/"+in.String())
+			}
+			if m1.Output(s, in) != good.Output(s, in) {
+				t.Errorf("unexpected λ deviation at %v/%v", s, in)
+			}
+		}
+	}
+	want := []string{"01/w1i", "10/w1j"}
+	if len(devs) != 2 || devs[0] != want[0] || devs[1] != want[1] {
+		t.Fatalf("δ deviations %v, want %v", devs, want)
+	}
+	if m1.Next(S(march.Zero, march.One), Wr(CellI, march.One)) != S(march.One, march.Zero) {
+		t.Error("01 --w1i--> must reach 10 in M1")
+	}
+	if m1.Next(S(march.One, march.Zero), Wr(CellJ, march.One)) != S(march.Zero, march.One) {
+		t.Error("10 --w1j--> must reach 01 in M1")
+	}
+}
+
+func TestDetects(t *testing.T) {
+	aggI := WithDeviations("cfid<u,0> agg=i", cfid0AggI())
+	detecting := []Input{Wr(CellI, march.Zero), Wr(CellJ, march.One), Wr(CellI, march.One), Rd(CellJ)}
+	if !Detects(aggI, detecting) {
+		t.Error("canonical sequence must detect the aggressor-i BFE")
+	}
+	// Without forcing i to 0 first, the initial content 10 escapes.
+	weak := []Input{Wr(CellJ, march.One), Wr(CellI, march.One), Rd(CellJ)}
+	if Detects(aggI, weak) {
+		t.Error("sequence without i initialisation must not guarantee detection")
+	}
+	// The good machine is never detected as faulty.
+	if Detects(Good(), detecting) {
+		t.Error("good machine flagged as faulty")
+	}
+}
+
+func TestDetectingReads(t *testing.T) {
+	aggI := WithDeviations("cfid<u,0> agg=i", cfid0AggI())
+	seq := []Input{
+		Wr(CellI, march.Zero), Wr(CellJ, march.One),
+		Rd(CellJ), // fault not yet excited: no detection here
+		Wr(CellI, march.One),
+		Rd(CellJ), // j has been forced to 0, expected 1: detects
+		Rd(CellI), // i is fine
+	}
+	idx := DetectingReads(aggI, seq)
+	if len(idx) != 1 || idx[0] != 4 {
+		t.Errorf("DetectingReads = %v, want [4]", idx)
+	}
+}
+
+func TestShortestDetecting(t *testing.T) {
+	aggI := WithDeviations("cfid<u,0> agg=i", cfid0AggI())
+	seq, err := ShortestDetecting(aggI, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 4 {
+		t.Errorf("shortest detecting sequence %v has length %d, want 4", Sequence(seq), len(seq))
+	}
+	if !Detects(aggI, seq) {
+		t.Errorf("sequence %v claimed shortest but does not detect", Sequence(seq))
+	}
+	if _, err := ShortestDetecting(Good(), 6); err == nil {
+		t.Error("the good machine must be undetectable")
+	}
+}
+
+func TestShortestDetectingStuckAt(t *testing.T) {
+	// SA0 on cell i, modelled as a forcing deviation: any w1i yields 0.
+	sa0 := WithDeviations("SA0@i",
+		TransitionDev(Unknown, Wr(CellI, march.One), S(march.Zero, march.X)))
+	seq, err := ShortestDetecting(sa0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 { // w1i, ri
+		t.Errorf("SA0 shortest sequence %v, want length 2", Sequence(seq))
+	}
+}
+
+func TestPatternTP1(t *testing.T) {
+	// TP1 = (01, w1i, r1j) from Section 3 of the paper.
+	tp1 := NewPattern(S(march.Zero, march.One), []Input{Wr(CellI, march.One)}, Rd(CellJ))
+	if err := tp1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tp1.GoodObservation(); got != march.One {
+		t.Errorf("TP1 expected read value %v, want 1", got)
+	}
+	if got := tp1.ObserveState(); got != S(march.One, march.One) {
+		t.Errorf("TP1 observation state %v, want 11", got)
+	}
+	if tp1.String() != "(01, w1i, r1j)" {
+		t.Errorf("TP1 notation %q", tp1.String())
+	}
+	aggI := WithDeviations("cfid<u,0> agg=i", cfid0AggI())
+	aggJ := WithDeviations("cfid<u,0> agg=j", cfid0AggJ())
+	if !DetectsPattern(aggI, tp1) {
+		t.Error("TP1 must detect the aggressor-i BFE")
+	}
+	if DetectsPattern(aggJ, tp1) {
+		t.Error("TP1 must not detect the aggressor-j BFE")
+	}
+}
+
+func TestPatternSequence(t *testing.T) {
+	tp := NewPattern(S(march.Zero, march.One), []Input{Wr(CellI, march.One)}, Rd(CellJ))
+	want := []Input{Wr(CellI, march.Zero), Wr(CellJ, march.One), Wr(CellI, march.One), Rd(CellJ)}
+	got := tp.Sequence()
+	if len(got) != len(want) {
+		t.Fatalf("sequence %v", Sequence(got))
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("sequence %v, want %v", Sequence(got), Sequence(want))
+		}
+	}
+}
+
+func TestPatternValidateRejects(t *testing.T) {
+	bad := NewPattern(Unknown, nil, Wr(CellI, march.One))
+	if err := bad.Validate(); err == nil {
+		t.Error("non-read observation must not validate")
+	}
+	unknownRead := NewPattern(Unknown, nil, Rd(CellJ))
+	if err := unknownRead.Validate(); err == nil {
+		t.Error("observation of uninitialised cell must not validate")
+	}
+}
+
+func TestAccessMapGoodIsGood(t *testing.T) {
+	m := GoodAccess().Machine()
+	good := Good()
+	for _, s := range ConcreteStates() {
+		for _, in := range Alphabet() {
+			if m.Next(s, in) != good.Next(s, in) {
+				t.Errorf("good access map δ differs at %v/%v", s, in)
+			}
+			if m.Output(s, in) != good.Output(s, in) {
+				t.Errorf("good access map λ differs at %v/%v", s, in)
+			}
+		}
+	}
+}
+
+func TestAccessMapWrongCell(t *testing.T) {
+	// AF: address i maps entirely to cell j.
+	af := AccessMap{
+		Name:   "AF i->j",
+		Writes: [2][]Cell{{CellJ}, {CellJ}},
+		Reads:  [2][]Cell{{CellJ}, {CellJ}},
+	}
+	m := af.Machine()
+	s := S(march.Zero, march.Zero)
+	s = m.Next(s, Wr(CellI, march.One))
+	if s != S(march.Zero, march.One) {
+		t.Fatalf("write to i must land in j: %v", s)
+	}
+	if out := m.Output(s, Rd(CellI)); out != march.One {
+		t.Errorf("read of i must sense j: %v", out)
+	}
+	// The canonical ascending (r0,w1) element exposes this fault.
+	seq := []Input{
+		Wr(CellI, march.Zero), Wr(CellJ, march.Zero), // ⇕(w0)
+		Rd(CellI), Wr(CellI, march.One), // ⇑(r0,w1) at i
+		Rd(CellJ), Wr(CellJ, march.One), // ⇑(r0,w1) at j
+	}
+	if !Detects(m, seq) {
+		t.Error("⇕(w0);⇑(r0,w1) must detect the i->j address fault")
+	}
+}
+
+func TestAccessMapMultiCellRead(t *testing.T) {
+	af := AccessMap{
+		Name:   "AF i->{i,j}",
+		Writes: [2][]Cell{{CellI, CellJ}, {CellJ}},
+		Reads:  [2][]Cell{{CellI, CellJ}, {CellJ}},
+		Comb:   CombOr,
+	}
+	m := af.Machine()
+	s := S(march.Zero, march.One)
+	if out := m.Output(s, Rd(CellI)); out != march.One {
+		t.Errorf("wired-OR read: %v, want 1", out)
+	}
+	af.Comb = CombAnd
+	m = af.Machine()
+	if out := m.Output(s, Rd(CellI)); out != march.Zero {
+		t.Errorf("wired-AND read: %v, want 0", out)
+	}
+}
+
+func TestAccessMapFloating(t *testing.T) {
+	af := AccessMap{
+		Name:   "AF i->nothing",
+		Writes: [2][]Cell{nil, {CellJ}},
+		Reads:  [2][]Cell{nil, {CellJ}},
+		Float:  march.One,
+	}
+	m := af.Machine()
+	s := S(march.Zero, march.Zero)
+	if next := m.Next(s, Wr(CellI, march.One)); next != s {
+		t.Errorf("write to unmapped address must be lost: %v", next)
+	}
+	if out := m.Output(s, Rd(CellI)); out != march.One {
+		t.Errorf("floating read must return Float: %v", out)
+	}
+}
+
+func TestCombineTernary(t *testing.T) {
+	cases := []struct {
+		c    Comb
+		a, b march.Bit
+		want march.Bit
+	}{
+		{CombOr, march.Zero, march.Zero, march.Zero},
+		{CombOr, march.Zero, march.One, march.One},
+		{CombOr, march.X, march.One, march.One},
+		{CombOr, march.X, march.Zero, march.X},
+		{CombAnd, march.One, march.One, march.One},
+		{CombAnd, march.X, march.Zero, march.Zero},
+		{CombAnd, march.X, march.One, march.X},
+	}
+	for _, c := range cases {
+		if got := combine(c.c, c.a, c.b); got != c.want {
+			t.Errorf("combine(%v,%v,%v) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	s := S(march.Zero, march.X)
+	if s.HammingTo(S(march.One, march.One)) != 2 {
+		t.Error("HammingTo must count unknown-to-concrete as one write")
+	}
+	if s.HammingTo(S(march.Zero, march.X)) != 0 {
+		t.Error("HammingTo of satisfied pattern must be 0")
+	}
+	if !S(march.One, march.One).Uniform() || S(march.Zero, march.One).Uniform() || !S(march.Zero, march.Zero).Uniform() {
+		t.Error("Uniform misclassifies")
+	}
+	if Unknown.Uniform() {
+		t.Error("unknown state is not uniform")
+	}
+	if !S(march.Zero, march.One).Matches(S(march.X, march.One)) {
+		t.Error("pattern with X must match")
+	}
+	if S(march.X, march.One).Matches(S(march.Zero, march.X)) {
+		t.Error("unknown bit must not satisfy concrete requirement")
+	}
+	if got := Unknown.Merge(S(march.One, march.X)); got != S(march.One, march.X) {
+		t.Errorf("Merge: %v", got)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	d := Dot(Good())
+	if !strings.Contains(d, "digraph") || !strings.Contains(d, `"00" -> "10"`) {
+		t.Errorf("good machine dot missing structure:\n%s", d)
+	}
+	if strings.Contains(d, "style=bold") {
+		t.Error("good machine must have no bold edges")
+	}
+	m1 := WithDeviations("M1", cfid0AggI(), cfid0AggJ())
+	d1 := Dot(m1)
+	if got := strings.Count(d1, "style=bold"); got != 2 {
+		t.Errorf("M1 dot must bold exactly the 2 deviating edges, got %d", got)
+	}
+}
+
+func TestInputString(t *testing.T) {
+	if Wr(CellI, march.Zero).String() != "w0i" || Rd(CellJ).String() != "rj" || Wait.String() != "T" {
+		t.Error("input notation wrong")
+	}
+}
+
+func TestInputMatches(t *testing.T) {
+	if !Wr(CellI, march.One).Matches(Wr(CellI, march.X)) {
+		t.Error("X-data write trigger must match any write to the cell")
+	}
+	if Wr(CellI, march.One).Matches(Wr(CellJ, march.X)) {
+		t.Error("write trigger must be cell-specific")
+	}
+	if !Wait.Matches(Wait) {
+		t.Error("wait must match wait")
+	}
+	if Rd(CellI).Matches(Wr(CellI, march.X)) {
+		t.Error("read must not match write trigger")
+	}
+}
+
+// Property: on the good machine, writing d to c and reading c returns d,
+// from any state.
+func TestQuickGoodWriteRead(t *testing.T) {
+	f := func(i, j, d uint8, cell bool) bool {
+		s := S(march.Bit(i%3), march.Bit(j%3))
+		c := CellI
+		if cell {
+			c = CellJ
+		}
+		val := march.Bit(d % 2)
+		m := Good()
+		next := m.Next(s, Wr(c, val))
+		return m.Output(next, Rd(c)) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Detects is monotone under sequence extension — appending
+// operations never un-detects a fault... this is false in general for
+// reads (they cannot "undo" a past mismatch), so we check the true
+// invariant: a detected prefix stays detected.
+func TestQuickDetectPrefixMonotone(t *testing.T) {
+	aggI := WithDeviations("cfid<u,0> agg=i", cfid0AggI())
+	base := []Input{Wr(CellI, march.Zero), Wr(CellJ, march.One), Wr(CellI, march.One), Rd(CellJ)}
+	f := func(extra uint8) bool {
+		alphabet := Alphabet()
+		seq := append(append([]Input(nil), base...), alphabet[int(extra)%len(alphabet)])
+		return Detects(aggI, seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package fsm
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// InputKind is the kind of a memory operation in the model's input
+// alphabet X = {r_i, w0_i, w1_i | cell i} ∪ {T}.
+type InputKind uint8
+
+const (
+	// OpRead reads a cell. Unlike a March read-and-verify, the model-level
+	// read carries no expected value: the fault-free machine defines the
+	// expected output.
+	OpRead InputKind = iota
+	// OpWrite stores Data into Cell.
+	OpWrite
+	// OpWait is the wait operation T, used to excite data-retention
+	// faults. It addresses no cell.
+	OpWait
+)
+
+// Input is one symbol of the model's input alphabet.
+type Input struct {
+	Kind InputKind
+	Cell Cell
+	Data march.Bit // write data; X for reads and waits
+}
+
+// Rd returns the read input for cell c.
+func Rd(c Cell) Input { return Input{Kind: OpRead, Cell: c, Data: march.X} }
+
+// Wr returns the write input storing d into cell c.
+func Wr(c Cell, d march.Bit) Input { return Input{Kind: OpWrite, Cell: c, Data: d} }
+
+// Wait is the wait symbol T.
+var Wait = Input{Kind: OpWait, Data: march.X}
+
+// IsRead reports whether the input is a read.
+func (in Input) IsRead() bool { return in.Kind == OpRead }
+
+// IsWrite reports whether the input is a write.
+func (in Input) IsWrite() bool { return in.Kind == OpWrite }
+
+// IsWait reports whether the input is the wait symbol.
+func (in Input) IsWait() bool { return in.Kind == OpWait }
+
+// String renders the input in the paper's notation: "ri", "w0j", "T".
+func (in Input) String() string {
+	switch in.Kind {
+	case OpRead:
+		return "r" + in.Cell.String()
+	case OpWrite:
+		return "w" + in.Data.String() + in.Cell.String()
+	case OpWait:
+		return "T"
+	default:
+		return fmt.Sprintf("Input(%d)", uint8(in.Kind))
+	}
+}
+
+// Matches reports whether a concrete input in satisfies the trigger
+// description trig: kinds must agree; reads and writes must address the
+// same cell; a write trigger with concrete data requires equal data.
+func (in Input) Matches(trig Input) bool {
+	if in.Kind != trig.Kind {
+		return false
+	}
+	if in.Kind == OpWait {
+		return true
+	}
+	if in.Cell != trig.Cell {
+		return false
+	}
+	if in.Kind == OpWrite && trig.Data != march.X && in.Data != trig.Data {
+		return false
+	}
+	return true
+}
+
+// Alphabet returns the full input alphabet of the two-cell model:
+// w0i, w1i, w0j, w1j, ri, rj, T.
+func Alphabet() []Input {
+	return []Input{
+		Wr(CellI, march.Zero), Wr(CellI, march.One),
+		Wr(CellJ, march.Zero), Wr(CellJ, march.One),
+		Rd(CellI), Rd(CellJ),
+		Wait,
+	}
+}
+
+// Sequence is a convenience formatter for input sequences, rendering
+// "w0i, w1j, ri".
+func Sequence(seq []Input) string {
+	out := ""
+	for k, in := range seq {
+		if k > 0 {
+			out += ", "
+		}
+		out += in.String()
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package fsm
+
+import "marchgen/march"
+
+// Machine is a deterministic Mealy automaton over the two-cell memory:
+// M = (Q, X, Y, δ, λ) in the paper's formulation (f.2.1 / f.2.2).
+// Next is δ, Output is λ. Output returns X for inputs that produce no
+// output (writes, waits) and for reads whose value cannot be relied upon.
+type Machine struct {
+	Name   string
+	next   func(State, Input) State
+	output func(State, Input) march.Bit
+}
+
+// Next applies δ.
+func (m Machine) Next(s State, in Input) State { return m.next(s, in) }
+
+// Output applies λ.
+func (m Machine) Output(s State, in Input) march.Bit { return m.output(s, in) }
+
+// New builds a machine from explicit δ and λ functions.
+func New(name string, next func(State, Input) State, output func(State, Input) march.Bit) Machine {
+	return Machine{Name: name, next: next, output: output}
+}
+
+func goodNext(s State, in Input) State {
+	if in.Kind == OpWrite {
+		return s.With(in.Cell, in.Data)
+	}
+	return s
+}
+
+func goodOutput(s State, in Input) march.Bit {
+	if in.Kind == OpRead {
+		return s.Get(in.Cell)
+	}
+	return march.X
+}
+
+// Good returns M0, the fault-free memory machine of the paper's Figure 1:
+// writes store their data, reads return the stored value, waits do nothing.
+func Good() Machine {
+	return Machine{Name: "M0", next: goodNext, output: goodOutput}
+}
+
+// Deviation is one Basic Fault Effect (BFE): a single (state, input) point
+// at which the faulty machine departs from the good machine, either in its
+// next state (δ deviation), in its read output (λ deviation), or — for the
+// read-disturb fault class of the literature — in both.
+type Deviation struct {
+	// When is the state pattern in which the deviation triggers; X bits
+	// match any value.
+	When State
+	// On is the triggering input. A write trigger with X data matches
+	// both write values.
+	On Input
+	// Next, when non-nil, is the faulty next state. X bits inherit the
+	// good machine's next-state value, so Next only needs to name the
+	// cells the fault corrupts.
+	Next *State
+	// Out, when non-nil, is the faulty output of a read trigger.
+	Out *march.Bit
+}
+
+// TransitionDev builds a δ deviation: in states matching when, input on
+// drives the machine to next (X bits of next inherit the good next state).
+func TransitionDev(when State, on Input, next State) Deviation {
+	n := next
+	return Deviation{When: when, On: on, Next: &n}
+}
+
+// OutputDev builds a λ deviation: in states matching when, the read on
+// returns out instead of the stored value.
+func OutputDev(when State, on Input, out march.Bit) Deviation {
+	o := out
+	return Deviation{When: when, On: on, Out: &o}
+}
+
+// TransitionOutputDev builds a combined deviation (e.g. a read-destructive
+// fault: the read corrupts the cell and returns the corrupted value).
+func TransitionOutputDev(when State, on Input, next State, out march.Bit) Deviation {
+	n, o := next, out
+	return Deviation{When: when, On: on, Next: &n, Out: &o}
+}
+
+// Triggers reports whether the deviation fires for input in at state s.
+func (d Deviation) Triggers(s State, in Input) bool {
+	return in.Matches(d.On) && s.Matches(d.When)
+}
+
+// String renders the deviation for diagnostics, e.g.
+// "(01) --w1i--> (10)" or "(0-) --ri--> out 1".
+func (d Deviation) String() string {
+	out := "(" + d.When.String() + ") --" + d.On.String() + "--> "
+	switch {
+	case d.Next != nil && d.Out != nil:
+		return out + "(" + d.Next.String() + ") out " + d.Out.String()
+	case d.Next != nil:
+		return out + "(" + d.Next.String() + ")"
+	case d.Out != nil:
+		return out + "out " + d.Out.String()
+	default:
+		return out + "(no effect)"
+	}
+}
+
+// WithDeviations returns the faulty machine Mi whose behaviour equals the
+// good machine M0 except at the given deviation points. When several
+// deviations trigger for the same (state, input), the first one listed
+// wins.
+func WithDeviations(name string, devs ...Deviation) Machine {
+	devCopy := append([]Deviation(nil), devs...)
+	next := func(s State, in Input) State {
+		good := goodNext(s, in)
+		for _, d := range devCopy {
+			if d.Triggers(s, in) {
+				if d.Next != nil {
+					return good.Merge(*d.Next)
+				}
+				return good
+			}
+		}
+		return good
+	}
+	output := func(s State, in Input) march.Bit {
+		for _, d := range devCopy {
+			if d.Triggers(s, in) {
+				if d.Out != nil {
+					return *d.Out
+				}
+				break
+			}
+		}
+		return goodOutput(s, in)
+	}
+	return Machine{Name: name, next: next, output: output}
+}

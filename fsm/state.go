@@ -1,0 +1,137 @@
+package fsm
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// Cell identifies one of the two cells of the behavioural memory model.
+// By the paper's convention the address of cell i is lower than the address
+// of cell j; this is what lets the model express address-order-dependent
+// faults with only two cells.
+type Cell uint8
+
+const (
+	CellI Cell = iota
+	CellJ
+)
+
+// String returns "i" or "j".
+func (c Cell) String() string {
+	switch c {
+	case CellI:
+		return "i"
+	case CellJ:
+		return "j"
+	default:
+		return fmt.Sprintf("Cell(%d)", uint8(c))
+	}
+}
+
+// Other returns the other cell.
+func (c Cell) Other() Cell {
+	if c == CellI {
+		return CellJ
+	}
+	return CellI
+}
+
+// Cells lists the two cells in address order.
+func Cells() [2]Cell { return [2]Cell{CellI, CellJ} }
+
+// State is the content of the two-cell memory. Each bit may be X: in a
+// machine state X means "not initialised" (the paper's "–" symbol); in a
+// pattern it means "don't care".
+type State struct {
+	I, J march.Bit
+}
+
+// S is shorthand for State{i, j}.
+func S(i, j march.Bit) State { return State{I: i, J: j} }
+
+// Get returns the value of cell c.
+func (s State) Get(c Cell) march.Bit {
+	if c == CellI {
+		return s.I
+	}
+	return s.J
+}
+
+// With returns a copy of s with cell c set to v.
+func (s State) With(c Cell, v march.Bit) State {
+	if c == CellI {
+		s.I = v
+	} else {
+		s.J = v
+	}
+	return s
+}
+
+// Concrete reports whether both cells hold a known logic value.
+func (s State) Concrete() bool { return s.I.Known() && s.J.Known() }
+
+// Matches reports whether the concrete knowledge in s satisfies the pattern
+// pat: every non-X bit of pat must be matched by an equal, known bit of s.
+// An X bit of s never satisfies a concrete requirement (the cell's value
+// cannot be relied upon).
+func (s State) Matches(pat State) bool {
+	if pat.I != march.X && s.I != pat.I {
+		return false
+	}
+	if pat.J != march.X && s.J != pat.J {
+		return false
+	}
+	return true
+}
+
+// Merge overlays the non-X bits of o onto s.
+func (s State) Merge(o State) State {
+	if o.I != march.X {
+		s.I = o.I
+	}
+	if o.J != march.X {
+		s.J = o.J
+	}
+	return s
+}
+
+// HammingTo returns the number of cells that must be written to turn s into
+// a state satisfying pattern target. An X bit in target costs nothing; an X
+// bit in s under a concrete target bit costs one write (the value cannot be
+// assumed). This is the weight function f.4.1 of the paper.
+func (s State) HammingTo(target State) int {
+	w := 0
+	if target.I != march.X && s.I != target.I {
+		w++
+	}
+	if target.J != march.X && s.J != target.J {
+		w++
+	}
+	return w
+}
+
+// Uniform reports whether the state is "00" or "11" — the paper's f.4.4
+// observation is that Global Test Sequences starting from a uniform
+// initialisation state yield March tests of minimal complexity, because the
+// initialisation collapses to a single ⇕(w0) or ⇕(w1) operation.
+func (s State) Uniform() bool {
+	return s.I.Known() && s.I == s.J
+}
+
+// String renders the state as two bits, e.g. "01" or "-1".
+func (s State) String() string { return s.I.String() + s.J.String() }
+
+// Unknown is the fully uninitialised state "--".
+var Unknown = State{I: march.X, J: march.X}
+
+// ConcreteStates lists the four fully initialised states in the order
+// 00, 01, 10, 11.
+func ConcreteStates() [4]State {
+	return [4]State{
+		S(march.Zero, march.Zero),
+		S(march.Zero, march.One),
+		S(march.One, march.Zero),
+		S(march.One, march.One),
+	}
+}

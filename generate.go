@@ -1,0 +1,114 @@
+package marchgen
+
+import (
+	"time"
+
+	"marchgen/fault"
+	"marchgen/internal/core"
+	"marchgen/internal/gts"
+	"marchgen/march"
+)
+
+// Option tunes Generate.
+type Option func(*core.Options)
+
+// WithHeuristicATSP replaces the exact ATSP solver with the layered
+// nearest-neighbour / greedy-edge / or-opt heuristics. Generation gets
+// faster on very large fault lists; the result stays a validated March
+// test but its length is no longer guaranteed minimal.
+func WithHeuristicATSP() Option {
+	return func(o *core.Options) { o.Exact = false }
+}
+
+// WithSelectionLimit caps the enumeration of BFE equivalence-class
+// selections (the paper's E = ∏|Cᵢ| product of Section 5). The default is
+// 64.
+func WithSelectionLimit(n int) Option {
+	return func(o *core.Options) { o.SelectionLimit = n }
+}
+
+// WithoutShrink disables the final redundancy-elimination pass (an
+// ablation knob; generated tests may then contain removable operations).
+func WithoutShrink() Option {
+	return func(o *core.Options) { o.DisableShrink = true }
+}
+
+// WithoutEquivalence disables the Section 5 BFE equivalence classes: every
+// BFE gets its own Test Pattern Graph node (an ablation knob).
+func WithoutEquivalence() Option {
+	return func(o *core.Options) { o.DisableEquivalence = true }
+}
+
+// WithBeamWidth widens or narrows the rewrite engine's beam (default 48).
+func WithBeamWidth(n int) Option {
+	return func(o *core.Options) { o.Beam = gts.Options{BeamWidth: n, MaxCandidates: o.Beam.MaxCandidates} }
+}
+
+// Stats reports the pipeline effort behind a generated test.
+type Stats struct {
+	// Classes is the number of BFE equivalence classes of the fault list.
+	Classes int
+	// Selections is the number of class selections enumerated.
+	Selections int
+	// TPGNodes is the Test Pattern Graph size of the winning selection.
+	TPGNodes int
+	// PathCost is the optimal ATSP visit cost of the winning selection.
+	PathCost int
+	// Candidates is the number of rewrite candidates examined.
+	Candidates int
+	// Elapsed is the wall-clock generation time.
+	Elapsed time.Duration
+}
+
+// Result is a generated March test.
+type Result struct {
+	// Test is the generated March test: validated complete for the fault
+	// list and non-redundant.
+	Test *march.Test
+	// Complexity is the number of operations per cell (the "kn" figure).
+	Complexity int
+	// Models is the parsed fault list.
+	Models []fault.Model
+	// Instances is the expanded set of fault instances the test detects.
+	Instances []fault.Instance
+	// Stats reports pipeline effort.
+	Stats Stats
+}
+
+// Generate synthesises a minimal March test covering the comma-separated
+// fault list, e.g. "SAF,TF,ADF" or "CFid<u,0>,CFin" (see package fault for
+// the model names).
+func Generate(faults string, opts ...Option) (*Result, error) {
+	models, err := fault.ParseList(faults)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateModels(models, opts...)
+}
+
+// GenerateModels is Generate for an already-built fault model list — in
+// particular one containing user-defined models from fault.Custom.
+func GenerateModels(models []fault.Model, opts ...Option) (*Result, error) {
+	options := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&options)
+	}
+	res, err := core.Generate(models, options)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Test:       res.Test,
+		Complexity: res.Complexity,
+		Models:     models,
+		Instances:  res.Instances,
+		Stats: Stats{
+			Classes:    res.Classes,
+			Selections: res.Selections,
+			TPGNodes:   res.Nodes,
+			PathCost:   res.PathCost,
+			Candidates: res.Candidates,
+			Elapsed:    res.Elapsed,
+		},
+	}, nil
+}

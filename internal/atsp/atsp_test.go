@@ -1,0 +1,349 @@
+package atsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce computes the optimal cyclic tour by enumerating permutations.
+func bruteForce(m Matrix) int {
+	n := len(m)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := Inf * 4
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if c := m.TourCost(perm); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(1) // fix node 0 first: tours are rotation-invariant
+	return best
+}
+
+func randomMatrix(rng *rand.Rand, n, maxCost int) Matrix {
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = rng.Intn(maxCost)
+			}
+		}
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Matrix{}).Validate(); err == nil {
+		t.Error("empty matrix must fail")
+	}
+	if err := (Matrix{{0, 1}}).Validate(); err == nil {
+		t.Error("non-square matrix must fail")
+	}
+	if err := (Matrix{{0, -1}, {1, 0}}).Validate(); err == nil {
+		t.Error("negative cost must fail")
+	}
+	if err := (Matrix{{0, 1}, {1, 0}}).Validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+}
+
+func TestHeldKarpTiny(t *testing.T) {
+	m := Matrix{
+		{0, 1, 9},
+		{9, 0, 1},
+		{1, 9, 0},
+	}
+	tour, cost, err := HeldKarp(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 3 {
+		t.Errorf("cost %d, want 3", cost)
+	}
+	if m.TourCost(tour) != cost {
+		t.Errorf("tour %v does not match reported cost", tour)
+	}
+}
+
+func TestHeldKarpSingleNode(t *testing.T) {
+	tour, cost, err := HeldKarp(Matrix{{0}})
+	if err != nil || cost != 0 || len(tour) != 1 {
+		t.Errorf("single node: %v %d %v", tour, cost, err)
+	}
+}
+
+func TestHeldKarpLimit(t *testing.T) {
+	m := randomMatrix(rand.New(rand.NewSource(1)), heldKarpLimit+1, 10)
+	if _, _, err := HeldKarp(m); err == nil {
+		t.Error("oversize instance must be rejected")
+	}
+}
+
+func TestAssignmentAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		m := randomMatrix(rng, n, 50)
+		// Brute-force assignment (permutations, no cycle structure).
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := Inf
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				c := 0
+				for i, j := range perm {
+					c += m[i][j]
+				}
+				if c < best {
+					best = c
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		_, cost := assignment(m)
+		if cost != best {
+			t.Fatalf("trial %d: assignment cost %d, brute force %d\n%v", trial, cost, best, m)
+		}
+	}
+}
+
+func TestExactSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomMatrix(rng, n, 30)
+		want := bruteForce(m)
+		hkTour, hkCost, err := HeldKarp(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbTour, bbCost, err := BranchBound(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hkCost != want || bbCost != want {
+			t.Fatalf("trial %d (n=%d): brute %d, held-karp %d, b&b %d", trial, n, want, hkCost, bbCost)
+		}
+		if !validTour(n, hkTour) || m.TourCost(hkTour) != hkCost {
+			t.Fatalf("held-karp tour invalid: %v", hkTour)
+		}
+		if !validTour(n, bbTour) || m.TourCost(bbTour) != bbCost {
+			t.Fatalf("b&b tour invalid: %v", bbTour)
+		}
+	}
+}
+
+func TestBranchBoundLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		n := 14 + rng.Intn(5)
+		m := randomMatrix(rng, n, 40)
+		hkTour, hkCost, err := HeldKarp(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bbTour, bbCost, err := BranchBound(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bbCost != hkCost {
+			t.Fatalf("n=%d: b&b %d vs held-karp %d", n, bbCost, hkCost)
+		}
+		_ = hkTour
+		if !validTour(n, bbTour) {
+			t.Fatalf("invalid tour %v", bbTour)
+		}
+	}
+}
+
+func TestHeuristicsValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(7)
+		m := randomMatrix(rng, n, 25)
+		opt := bruteForce(m)
+		for s := 0; s < n; s++ {
+			tour, cost := NearestNeighbor(m, s)
+			if !validTour(n, tour) || m.TourCost(tour) != cost || cost < opt {
+				t.Fatalf("nearest neighbour from %d invalid: %v cost %d opt %d", s, tour, cost, opt)
+			}
+		}
+		tour, cost := GreedyEdge(m)
+		if !validTour(n, tour) || m.TourCost(tour) != cost || cost < opt {
+			t.Fatalf("greedy edge invalid: %v cost %d opt %d", tour, cost, opt)
+		}
+		improved, ic := OrOpt(m, tour)
+		if !validTour(n, improved) || ic > cost || ic < opt {
+			t.Fatalf("or-opt broke tour: %v cost %d (was %d, opt %d)", improved, ic, cost, opt)
+		}
+	}
+}
+
+func TestPathTiny(t *testing.T) {
+	// Path 2 -> 0 -> 1 costs 1+1 = 2; any cycle would pay the way back.
+	m := Matrix{
+		{0, 1, 9},
+		{9, 0, 9},
+		{1, 9, 0},
+	}
+	path, cost, err := Path(m, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Errorf("path cost %d, want 2: %v", cost, path)
+	}
+	if m.PathCost(path) != cost {
+		t.Errorf("path %v cost mismatch", path)
+	}
+}
+
+func TestPathStartCosts(t *testing.T) {
+	m := Matrix{
+		{0, 1},
+		{1, 0},
+	}
+	// Starting at node 0 is expensive, so the path must start at 1.
+	path, cost, err := Path(m, []int{10, 0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 1 || cost != 1 {
+		t.Errorf("path %v cost %d, want start=1 cost 1", path, cost)
+	}
+}
+
+func TestPathHeuristicUpperBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		m := randomMatrix(rng, n, 30)
+		sc := make([]int, n)
+		for i := range sc {
+			sc[i] = rng.Intn(4)
+		}
+		exactPath, exactCost, err := Path(m, sc, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heurPath, heurCost, err := Path(m, sc, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !validTour(n, exactPath) || !validTour(n, heurPath) {
+			t.Fatalf("invalid paths %v / %v", exactPath, heurPath)
+		}
+		if got := sc[exactPath[0]] + m.PathCost(exactPath); got != exactCost {
+			t.Fatalf("exact path cost accounting: %d vs %d", got, exactCost)
+		}
+		if heurCost < exactCost {
+			t.Fatalf("heuristic %d beat exact %d", heurCost, exactCost)
+		}
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	if _, _, err := Path(Matrix{{0, 1}, {1, 0}}, []int{1}, true); err == nil {
+		t.Error("mismatched startCost length must fail")
+	}
+	if _, _, err := Path(Matrix{}, nil, true); err == nil {
+		t.Error("empty matrix must fail")
+	}
+}
+
+func TestPathSingleNode(t *testing.T) {
+	path, cost, err := Path(Matrix{{0}}, []int{5}, true)
+	if err != nil || cost != 5 || len(path) != 1 {
+		t.Errorf("single node path: %v %d %v", path, cost, err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	m := Matrix{{0, 1}, {2, 0}}
+	c := m.Clone()
+	c[0][1] = 99
+	if m[0][1] != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestPatchProducesValidTours(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		m := randomMatrix(rng, n, 30)
+		tour, cost := Patch(m)
+		if !validTour(n, tour) {
+			t.Fatalf("trial %d: invalid tour %v", trial, tour)
+		}
+		if m.TourCost(tour) != cost {
+			t.Fatalf("trial %d: cost accounting %d vs %d", trial, m.TourCost(tour), cost)
+		}
+		opt := bruteForce(m)
+		if cost < opt {
+			t.Fatalf("trial %d: patching beat the optimum (%d < %d)", trial, cost, opt)
+		}
+	}
+}
+
+// TestPatchNearOptimal: on random instances Karp patching stays within a
+// modest factor of the exact optimum (here: within 1.6x aggregate).
+func TestPatchNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	totalPatch, totalOpt := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(6)
+		m := randomMatrix(rng, n, 50)
+		_, cost := Patch(m)
+		totalPatch += cost
+		totalOpt += bruteForce(m)
+	}
+	if float64(totalPatch) > 1.6*float64(totalOpt) {
+		t.Errorf("patching aggregate %d vs optimum %d: gap too large", totalPatch, totalOpt)
+	}
+}
+
+func TestOptimalPathsEnumerate(t *testing.T) {
+	// The Figure-4-style instance has multiple optimal paths thanks to its
+	// two zero-weight arcs; OptimalPaths must find more than one.
+	m := Matrix{
+		{0, 1, 2, 2},
+		{1, 0, 2, 2},
+		{2, 0, 0, 1},
+		{0, 2, 1, 0},
+	}
+	starts := []int{2, 2, 1, 1}
+	paths, cost, err := OptimalPaths(m, starts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Errorf("expected several optimal paths, got %d", len(paths))
+	}
+	for _, p := range paths {
+		if got := starts[p[0]] + m.PathCost(p); got != cost {
+			t.Errorf("path %v costs %d, reported optimum %d", p, got, cost)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package atsp
+
+import "fmt"
+
+// OptimalPaths enumerates open paths of exactly the optimal cost (the same
+// objective as Path with exact=true): different optimal visits can fold
+// into March tests of different quality downstream, so the caller wants
+// them all. At most limit paths are returned; the search is additionally
+// capped at a fixed node budget as a safety valve (the instances produced
+// by Test Pattern Graphs are small).
+func OptimalPaths(m Matrix, startCost []int, limit int) ([][]int, int, error) {
+	if limit <= 0 {
+		limit = 16
+	}
+	_, best, err := Path(m, startCost, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := len(m)
+	// minOut[v] is a simple admissible remainder bound: every unvisited
+	// node except the last must be left through its cheapest arc.
+	minOut := make([]int, n)
+	for i := 0; i < n; i++ {
+		minOut[i] = Inf
+		for j := 0; j < n; j++ {
+			if i != j && m[i][j] < minOut[i] {
+				minOut[i] = m[i][j]
+			}
+		}
+		if n == 1 {
+			minOut[i] = 0
+		}
+	}
+	var paths [][]int
+	visited := make([]bool, n)
+	cur := make([]int, 0, n)
+	const nodeBudget = 500000
+	nodes := 0
+	var rec func(cost int)
+	rec = func(cost int) {
+		if len(paths) >= limit || nodes > nodeBudget {
+			return
+		}
+		nodes++
+		if len(cur) == n {
+			if cost == best {
+				paths = append(paths, append([]int(nil), cur...))
+			}
+			return
+		}
+		last := -1
+		if len(cur) > 0 {
+			last = cur[len(cur)-1]
+		}
+		for v := 0; v < n; v++ {
+			if visited[v] {
+				continue
+			}
+			step := 0
+			if last < 0 {
+				if startCost != nil {
+					step = startCost[v]
+				}
+			} else {
+				step = m[last][v]
+			}
+			// Admissible bound: the remaining unvisited nodes (minus the
+			// final one) must each be exited once.
+			lb := 0
+			remaining := 0
+			for w := 0; w < n; w++ {
+				if !visited[w] && w != v {
+					remaining++
+					lb += minOut[w]
+				}
+			}
+			if remaining > 0 {
+				// The path's final node is not exited: refund the largest
+				// of the counted minimal exits... a simpler sound bound is
+				// to drop one arbitrary exit; dropping the maximum keeps
+				// admissibility.
+				maxDrop := 0
+				for w := 0; w < n; w++ {
+					if !visited[w] && w != v && minOut[w] > maxDrop {
+						maxDrop = minOut[w]
+					}
+				}
+				lb -= maxDrop
+			}
+			if cost+step+lb > best {
+				continue
+			}
+			visited[v] = true
+			cur = append(cur, v)
+			rec(cost + step)
+			cur = cur[:len(cur)-1]
+			visited[v] = false
+		}
+	}
+	rec(0)
+	if len(paths) == 0 {
+		return nil, 0, fmt.Errorf("atsp: internal error: no path re-achieves the optimal cost %d", best)
+	}
+	return paths, best, nil
+}

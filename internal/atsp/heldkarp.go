@@ -1,0 +1,80 @@
+package atsp
+
+import "fmt"
+
+// heldKarpLimit bounds the O(n²·2ⁿ) dynamic program.
+const heldKarpLimit = 20
+
+// HeldKarp solves the cyclic ATSP exactly with the Held–Karp dynamic
+// program. It is practical up to heldKarpLimit nodes and serves as the
+// independent reference for the branch-and-bound solver.
+func HeldKarp(m Matrix) ([]int, int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(m)
+	if n == 1 {
+		return []int{0}, 0, nil
+	}
+	if n > heldKarpLimit {
+		return nil, 0, fmt.Errorf("atsp: Held–Karp limited to %d nodes, got %d", heldKarpLimit, n)
+	}
+	// dp[mask][v]: cheapest cost of starting at 0, visiting exactly the
+	// nodes of mask (which always contains 0 and v), ending at v.
+	size := 1 << n
+	dp := make([][]int32, size)
+	parent := make([][]int8, size)
+	for mask := range dp {
+		dp[mask] = make([]int32, n)
+		parent[mask] = make([]int8, n)
+		for v := range dp[mask] {
+			dp[mask][v] = int32(Inf) * 4
+			parent[mask][v] = -1
+		}
+	}
+	dp[1][0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) == 0 || dp[mask][v] >= int32(Inf)*4 {
+				continue
+			}
+			for w := 1; w < n; w++ {
+				if mask&(1<<w) != 0 {
+					continue
+				}
+				nm := mask | 1<<w
+				cost := dp[mask][v] + int32(m[v][w])
+				if cost < dp[nm][w] {
+					dp[nm][w] = cost
+					parent[nm][w] = int8(v)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best, bestEnd := int32(Inf)*4, -1
+	for v := 1; v < n; v++ {
+		if c := dp[full][v] + int32(m[v][0]); c < best {
+			best, bestEnd = c, v
+		}
+	}
+	if bestEnd < 0 {
+		return nil, 0, fmt.Errorf("atsp: no tour found")
+	}
+	tour := make([]int, 0, n)
+	mask, v := full, bestEnd
+	for v != -1 {
+		tour = append(tour, v)
+		pv := parent[mask][v]
+		mask &^= 1 << v
+		v = int(pv)
+	}
+	// The walk above ends at node 0 (parent -1); reverse into tour order.
+	for i, j := 0, len(tour)-1; i < j; i, j = i+1, j-1 {
+		tour[i], tour[j] = tour[j], tour[i]
+	}
+	return canonical(tour), int(best), nil
+}

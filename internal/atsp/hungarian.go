@@ -1,0 +1,74 @@
+package atsp
+
+// assignment solves the linear assignment problem on the cost matrix
+// (ignoring nothing — diagonal entries must already be set to Inf by the
+// caller when self-assignment is forbidden). It returns the column chosen
+// for each row and the optimal total cost. The implementation is the
+// O(n³) shortest-augmenting-path ("Jonker–Volgenant style") variant of the
+// Hungarian algorithm with row/column potentials.
+func assignment(m Matrix) (rowToCol []int, cost int) {
+	n := len(m)
+	const inf = int(1) << 60
+	u := make([]int, n+1) // row potentials
+	v := make([]int, n+1) // column potentials
+	p := make([]int, n+1) // p[col] = row assigned to col (1-based; 0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]int, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := m[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		cost += m[i][rowToCol[i]]
+	}
+	return rowToCol, cost
+}

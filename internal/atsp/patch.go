@@ -1,0 +1,85 @@
+package atsp
+
+// Patch implements Karp's patching heuristic, the classic companion of the
+// assignment-relaxation branch and bound used by Carpaneto, Dell'Amico and
+// Toth: solve the assignment problem, then repeatedly merge the two
+// largest subtours by the cheapest 2-exchange until a single Hamiltonian
+// cycle remains. It is near-optimal on random asymmetric instances and
+// much faster than the exact search; the package tests bound its gap
+// against the optimum.
+func Patch(m Matrix) ([]int, int) {
+	n := len(m)
+	if n == 1 {
+		return []int{0}, 0
+	}
+	work := m.Clone()
+	for i := 0; i < n; i++ {
+		work[i][i] = Inf
+	}
+	rowToCol, _ := assignment(work)
+	next := append([]int(nil), rowToCol...)
+
+	// Identify subtours.
+	tourOf := make([]int, n)
+	var tours [][]int
+	seen := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var cyc []int
+		for v := s; !seen[v]; v = next[v] {
+			seen[v] = true
+			tourOf[v] = len(tours)
+			cyc = append(cyc, v)
+		}
+		tours = append(tours, cyc)
+	}
+
+	for len(tours) > 1 {
+		// Pick the two largest subtours.
+		a, b := 0, 1
+		for k := range tours {
+			if len(tours[k]) > len(tours[a]) {
+				b = a
+				a = k
+			} else if k != a && len(tours[k]) > len(tours[b]) {
+				b = k
+			}
+		}
+		if a == b {
+			b = (a + 1) % len(tours)
+		}
+		// Cheapest patch: pick i in tour a, j in tour b, replace arcs
+		// (i, next[i]) and (j, next[j]) with (i, next[j]) and (j, next[i]).
+		bestDelta, bi, bj := Inf*4, -1, -1
+		for _, i := range tours[a] {
+			for _, j := range tours[b] {
+				delta := m[i][next[j]] + m[j][next[i]] - m[i][next[i]] - m[j][next[j]]
+				if delta < bestDelta {
+					bestDelta, bi, bj = delta, i, j
+				}
+			}
+		}
+		next[bi], next[bj] = next[bj], next[bi]
+		// Merge tour b into tour a.
+		merged := append(append([]int(nil), tours[a]...), tours[b]...)
+		for _, v := range merged {
+			tourOf[v] = a
+		}
+		tours[a] = merged
+		tours = append(tours[:b], tours[b+1:]...)
+		// Re-index tourOf after the slice shrink.
+		for k := range tours {
+			for _, v := range tours[k] {
+				tourOf[v] = k
+			}
+		}
+	}
+
+	tour := make([]int, 0, n)
+	for v := 0; len(tour) < n; v = next[v] {
+		tour = append(tour, v)
+	}
+	return canonical(tour), m.TourCost(tour)
+}

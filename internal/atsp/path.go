@@ -1,0 +1,67 @@
+package atsp
+
+import "fmt"
+
+// Path finds a minimum-cost open path visiting every node exactly once —
+// the shape of a Global Test Sequence, whose first and last patterns need
+// not coincide. Starting at node v additionally costs startCost[v] (pass
+// nil for free starts); ending is free. The problem is reduced to the
+// cyclic ATSP by the paper's dummy-node construction: an extra node with
+// zero cost from every node and startCost into every node, so cutting the
+// optimal cycle at the dummy yields the optimal path.
+//
+// With exact=true the reduced instance is solved exactly (Held–Karp or
+// branch and bound); otherwise the layered heuristics provide a fast
+// near-optimal path.
+func Path(m Matrix, startCost []int, exact bool) ([]int, int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(m)
+	if startCost != nil && len(startCost) != n {
+		return nil, 0, fmt.Errorf("atsp: startCost has %d entries, want %d", len(startCost), n)
+	}
+	if n == 1 {
+		c := 0
+		if startCost != nil {
+			c = startCost[0]
+		}
+		return []int{0}, c, nil
+	}
+	ext := make(Matrix, n+1)
+	for i := 0; i < n; i++ {
+		ext[i] = append(append([]int(nil), m[i]...), 0) // v -> dummy: free
+	}
+	last := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		if startCost != nil {
+			last[j] = startCost[j]
+		}
+	}
+	ext[n] = last
+
+	var tour []int
+	var cost int
+	var err error
+	if exact {
+		tour, cost, err = SolveExact(ext)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		tour, cost = bestHeuristic(ext)
+	}
+	// Rotate so the dummy leads, then drop it.
+	var at int
+	for k, v := range tour {
+		if v == n {
+			at = k
+			break
+		}
+	}
+	path := append(append([]int(nil), tour[at+1:]...), tour[:at]...)
+	if !validTour(n, path) {
+		return nil, 0, fmt.Errorf("atsp: internal error: invalid path %v", path)
+	}
+	return path, cost, nil
+}

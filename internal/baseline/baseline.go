@@ -1,0 +1,160 @@
+// Package baseline implements the prior-art March test generators the
+// paper compares against (its Section 2 "state of the art"):
+//
+//   - Exhaustive reproduces the transition-tree approach of van de Goor &
+//     Smit [2–4]: March tests are enumerated in order of growing
+//     complexity and each candidate is handed to the fault simulator, so
+//     the first complete test found is optimal. The tree is unbounded, so
+//     a complexity cap must be supplied; cost grows exponentially with it.
+//
+//   - BranchBound reproduces the pruned search of Zarrineh et al. [5]: the
+//     same space is explored depth-first with fault-detection state
+//     propagated incrementally and memoised, restricting the search to
+//     subtrees where a solution can still exist.
+//
+// Both searches double as an independent optimality oracle for the
+// pipeline of package core: they provably return a minimum-complexity
+// March test for the fault list (within the cap), at a cost the paper's
+// algorithm does not pay.
+package baseline
+
+import (
+	"time"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// Stats reports search effort.
+type Stats struct {
+	// Nodes is the number of search-tree nodes visited.
+	Nodes int64
+	// Tests is the number of complete candidate tests simulated
+	// (Exhaustive) or completeness checks performed (BranchBound).
+	Tests int64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+}
+
+// runState is the incremental detection state of one fault instance: the
+// faulty machine's state for each of the four initial memory contents,
+// plus the bit set of contents already exposed.
+type runState struct {
+	faulty [4]fsm.State
+	det    uint8
+}
+
+// searchState is the full between-element search state.
+type searchState struct {
+	entry march.Bit // uniform memory value between elements (X initially)
+	insts []runState
+}
+
+func (s *searchState) allDetected() bool {
+	for _, r := range s.insts {
+		if r.det != 0b1111 {
+			return false
+		}
+	}
+	return true
+}
+
+// key serialises the state for memoisation.
+func (s *searchState) key() string {
+	buf := make([]byte, 0, 1+len(s.insts)*5)
+	buf = append(buf, byte(s.entry))
+	for _, r := range s.insts {
+		for _, f := range r.faulty {
+			buf = append(buf, byte(f.I)*3+byte(f.J))
+		}
+		buf = append(buf, r.det)
+	}
+	return string(buf)
+}
+
+// initialState builds the search root: uninitialised memory, faulty
+// machines at each concrete initial content, nothing detected.
+func initialState(instances []fault.Instance) *searchState {
+	s := &searchState{entry: march.X, insts: make([]runState, len(instances))}
+	for k := range instances {
+		s.insts[k].faulty = fsm.ConcreteStates()
+	}
+	return s
+}
+
+// applyOps applies a completed element's operation list to one model cell
+// for every instance run, updating faulty states and detection flags. The
+// good-machine expectations are the deterministic chain values starting at
+// entry.
+func applyOps(s *searchState, machines []fsm.Machine, cell fsm.Cell, entry march.Bit, ops []march.Op) {
+	for k := range s.insts {
+		r := &s.insts[k]
+		for v := 0; v < 4; v++ {
+			st := r.faulty[v]
+			expect := entry
+			for _, op := range ops {
+				if op.IsWrite() {
+					st = machines[k].Next(st, fsm.Wr(cell, op.Data))
+					expect = op.Data
+					continue
+				}
+				out := machines[k].Output(st, fsm.Rd(cell))
+				st = machines[k].Next(st, fsm.Rd(cell))
+				if expect.Known() && out.Known() && out != expect {
+					r.det |= 1 << v
+				}
+			}
+			r.faulty[v] = st
+		}
+	}
+}
+
+// chainEnd returns the memory value after applying ops from entry.
+func chainEnd(entry march.Bit, ops []march.Op) march.Bit {
+	v := entry
+	for _, op := range ops {
+		if op.IsWrite() {
+			v = op.Data
+		}
+	}
+	return v
+}
+
+// elementOptions enumerates the consistent operation lists of one element
+// with the given entry value and maximum length: reads must expect the
+// current chain value (an inconsistent read would flag a good memory), and
+// the first operation of the whole test must be a write.
+func elementOptions(entry march.Bit, maxLen int) [][]march.Op {
+	var out [][]march.Op
+	var rec func(chain march.Bit, ops []march.Op)
+	rec = func(chain march.Bit, ops []march.Op) {
+		if len(ops) > 0 {
+			out = append(out, append([]march.Op(nil), ops...))
+		}
+		if len(ops) == maxLen {
+			return
+		}
+		if chain.Known() {
+			rec(chain, append(ops, march.Op{Kind: march.Read, Data: chain}))
+		}
+		rec(march.Zero, append(ops, march.W0))
+		rec(march.One, append(ops, march.W1))
+	}
+	rec(entry, nil)
+	return out
+}
+
+// result carries the reconstructed test out of the recursion.
+type elemChoice struct {
+	order march.Order
+	ops   []march.Op
+}
+
+func buildTest(path []elemChoice) *march.Test {
+	t := &march.Test{}
+	for _, e := range path {
+		t.Elements = append(t.Elements, march.Elem(e.order, e.ops...))
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+func instances(t *testing.T, list string) []fault.Instance {
+	t.Helper()
+	models, err := fault.ParseList(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.Instances(models)
+}
+
+func TestElementOptions(t *testing.T) {
+	// From an unknown entry, length-1 options are w0 and w1 only.
+	opts := elementOptions(march.X, 1)
+	if len(opts) != 2 {
+		t.Fatalf("options %v", opts)
+	}
+	// From a known entry, the read joins in.
+	opts = elementOptions(march.Zero, 1)
+	if len(opts) != 3 {
+		t.Fatalf("options %v", opts)
+	}
+	// Reads always expect the chain value.
+	for _, ops := range elementOptions(march.Zero, 3) {
+		chain := march.Zero
+		for _, op := range ops {
+			if op.IsRead() && op.Data != chain {
+				t.Fatalf("inconsistent read in %v", ops)
+			}
+			if op.IsWrite() {
+				chain = op.Data
+			}
+		}
+	}
+}
+
+func TestBranchBoundSAF(t *testing.T) {
+	insts := instances(t, "SAF")
+	test, stats, err := BranchBound(insts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := test.Complexity(); got != 4 {
+		t.Errorf("SAF optimum %dn (%s), want 4n", got, test)
+	}
+	if stats.Nodes == 0 {
+		t.Error("stats must count nodes")
+	}
+	cov, err := sim.Evaluate(test, insts)
+	if err != nil || !cov.Complete() {
+		t.Errorf("baseline result incomplete: %v %v", err, cov.Missed())
+	}
+}
+
+func TestBranchBoundMatchesKnownOptima(t *testing.T) {
+	cases := []struct {
+		list string
+		want int
+		cap  int
+	}{
+		{"SAF", 4, 5},
+		{"SAF,TF", 5, 6},
+		{"CFin", 5, 6},
+		{"SAF,TF,ADF", 6, 7},
+	}
+	for _, c := range cases {
+		test, _, err := BranchBound(instances(t, c.list), c.cap)
+		if err != nil {
+			t.Errorf("%s: %v", c.list, err)
+			continue
+		}
+		if got := test.Complexity(); got != c.want {
+			t.Errorf("%s: optimum %dn (%s), want %dn", c.list, got, test, c.want)
+		}
+	}
+}
+
+func TestBranchBoundInfeasibleCap(t *testing.T) {
+	if _, _, err := BranchBound(instances(t, "SAF"), 2); err == nil {
+		t.Error("complexity cap 2 cannot cover SAF")
+	}
+}
+
+func TestExhaustiveSAF(t *testing.T) {
+	insts := instances(t, "SAF")
+	test, stats, err := Exhaustive(insts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := test.Complexity(); got != 4 {
+		t.Errorf("SAF optimum %dn, want 4n", got)
+	}
+	if stats.Tests == 0 {
+		t.Error("exhaustive search must count simulated candidates")
+	}
+}
+
+// TestSection4ExampleOptimum certifies the paper's worked example: 8n is
+// optimal for the fault list {⟨↑;1⟩, ⟨↑;0⟩}.
+func TestSection4ExampleOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep search")
+	}
+	test, _, err := BranchBound(instances(t, "CFid<u,1>,CFid<u,0>"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := test.Complexity(); got != 8 {
+		t.Errorf("worked-example optimum %dn (%s), want 8n", got, test)
+	}
+}

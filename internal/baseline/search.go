@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+// optionCache memoises elementOptions per (entry value, max length): the
+// lists are shared read-only across the whole search.
+type optionCache struct {
+	mu    sync.Mutex
+	cache map[[2]int][][]march.Op
+}
+
+func newOptionCache() *optionCache {
+	return &optionCache{cache: map[[2]int][][]march.Op{}}
+}
+
+func (oc *optionCache) get(entry march.Bit, maxLen int) [][]march.Op {
+	key := [2]int{int(entry), maxLen}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if opts, ok := oc.cache[key]; ok {
+		return opts
+	}
+	opts := elementOptions(entry, maxLen)
+	oc.cache[key] = opts
+	return opts
+}
+
+// BranchBound finds a minimum-complexity March test covering all instances
+// by iterative-deepening depth-first search with incremental detection
+// state and memoisation — the pruned-search baseline of Zarrineh et al.
+// It fails if no test of complexity ≤ maxOps exists.
+func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, error) {
+	start := time.Now()
+	stats := Stats{}
+	machines := make([]fsm.Machine, len(instances))
+	for k, inst := range instances {
+		machines[k] = inst.Machine
+	}
+	oc := newOptionCache()
+
+	for k := 1; k <= maxOps; k++ {
+		memo := map[string]int{}
+		var path []elemChoice
+		var dfs func(s *searchState, remaining int) bool
+		dfs = func(s *searchState, remaining int) bool {
+			stats.Nodes++
+			if s.allDetected() {
+				return true
+			}
+			if remaining <= 0 {
+				return false
+			}
+			key := s.key()
+			if r, ok := memo[key]; ok && r >= remaining {
+				return false
+			}
+			skey := key
+			for _, ops := range oc.get(s.entry, remaining) {
+				for _, order := range [2]march.Order{march.Up, march.Down} {
+					first, second := fsm.CellI, fsm.CellJ
+					if order == march.Down {
+						first, second = fsm.CellJ, fsm.CellI
+					}
+					ns := &searchState{
+						entry: chainEnd(s.entry, ops),
+						insts: append([]runState(nil), s.insts...),
+					}
+					applyOps(ns, machines, first, s.entry, ops)
+					applyOps(ns, machines, second, s.entry, ops)
+					if ns.entry == s.entry && ns.key() == skey {
+						continue // no effect: pruned
+					}
+					path = append(path, elemChoice{order: order, ops: ops})
+					if dfs(ns, remaining-len(ops)) {
+						return true
+					}
+					path = path[:len(path)-1]
+				}
+			}
+			memo[skey] = remaining
+			return false
+		}
+		if dfs(initialState(instances), k) {
+			t := buildTest(path)
+			stats.Elapsed = time.Since(start)
+			stats.Tests++
+			// Sanity: the reconstructed test must be complete.
+			cov, err := sim.Evaluate(t, instances)
+			if err != nil || !cov.Complete() {
+				return nil, stats, fmt.Errorf("baseline: internal error: reconstructed test %s incomplete", t)
+			}
+			return t, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("baseline: no March test of complexity ≤ %d covers the fault list", maxOps)
+}
+
+// Exhaustive finds a minimum-complexity March test by enumerating every
+// consistent March test in order of growing complexity and running each
+// through the fault simulator — the transition-tree baseline of van de
+// Goor & Smit. The cost is a full simulation per candidate; use only with
+// small complexity caps.
+func Exhaustive(instances []fault.Instance, maxOps int) (*march.Test, Stats, error) {
+	start := time.Now()
+	stats := Stats{}
+	oc := newOptionCache()
+	for k := 1; k <= maxOps; k++ {
+		var path []elemChoice
+		var found *march.Test
+		var rec func(entry march.Bit, remaining int) bool
+		rec = func(entry march.Bit, remaining int) bool {
+			stats.Nodes++
+			if remaining == 0 {
+				t := buildTest(path)
+				stats.Tests++
+				cov, err := sim.Evaluate(t, instances)
+				if err == nil && cov.Complete() {
+					found = t
+					return true
+				}
+				return false
+			}
+			for _, ops := range oc.get(entry, remaining) {
+				if len(ops) > remaining {
+					continue
+				}
+				for _, order := range [2]march.Order{march.Up, march.Down} {
+					path = append(path, elemChoice{order: order, ops: ops})
+					if rec(chainEnd(entry, ops), remaining-len(ops)) {
+						return true
+					}
+					path = path[:len(path)-1]
+				}
+			}
+			return false
+		}
+		if rec(march.X, k) {
+			stats.Elapsed = time.Since(start)
+			return found, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("baseline: no March test of complexity ≤ %d covers the fault list", maxOps)
+}

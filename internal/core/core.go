@@ -1,0 +1,386 @@
+// Package core implements the paper's March test generation pipeline — its
+// primary contribution (Sections 4–5):
+//
+//  1. the target fault list is expanded into fault instances and Basic
+//     Fault Effects, grouped into equivalence classes (package fault);
+//  2. every economical class selection is enumerated (Section 5) and its
+//     patterns are reduced to a Test Pattern Graph (package tpg);
+//  3. a minimum-weight open visit of the TPG — an asymmetric TSP with the
+//     f.4.4 uniform-start preference expressed as start costs — yields an
+//     optimal Global Test Sequence ordering (package atsp);
+//  4. the rewrite engine folds the ordered patterns into candidate March
+//     tests (package gts);
+//  5. candidates are validated against the real fault machines, shrunk to
+//     non-redundancy, and the cheapest complete test wins (package sim).
+//
+// Unlike the exhaustive prior work the paper compares against (implemented
+// in package baseline), no search over the space of March tests takes
+// place: the only combinatorial step is the small ATSP instance.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/atsp"
+	"marchgen/internal/baseline"
+	"marchgen/internal/gts"
+	"marchgen/internal/sim"
+	"marchgen/internal/tpg"
+	"marchgen/march"
+)
+
+// Options tunes the generator.
+type Options struct {
+	// Exact selects the exact ATSP solver; when false the layered
+	// heuristics are used (faster, possibly suboptimal ordering).
+	Exact bool
+	// SelectionLimit caps the equivalence-class enumeration (Section 5's
+	// E = ∏|Cᵢ| product).
+	SelectionLimit int
+	// Beam tunes the rewrite engine.
+	Beam gts.Options
+	// DisableShrink skips the final redundancy-elimination pass (useful
+	// for ablation measurements).
+	DisableShrink bool
+	// DisableEquivalence forces one TPG node per BFE instead of one per
+	// equivalence class (the Section 5 ablation).
+	DisableEquivalence bool
+	// DisableFallback turns off the bounded branch-and-bound fallback
+	// used when an exotic user-defined fault falls outside the rewrite
+	// grammar (the pipeline then fails instead of searching).
+	DisableFallback bool
+	// FallbackCap bounds the fallback search complexity (default 12).
+	FallbackCap int
+}
+
+// DefaultOptions returns the options used by the published experiments.
+func DefaultOptions() Options {
+	return Options{Exact: true, SelectionLimit: 64, Beam: gts.DefaultOptions()}
+}
+
+// Result describes a generated March test and the pipeline statistics the
+// paper reports.
+type Result struct {
+	// Test is the generated, validated, non-redundant March test.
+	Test *march.Test
+	// Complexity is Test.Complexity() (the paper's "kn" figure).
+	Complexity int
+	// Instances is the expanded fault list the test provably detects.
+	Instances []fault.Instance
+	// Classes is the number of BFE equivalence classes.
+	Classes int
+	// Selections is the number of class selections enumerated.
+	Selections int
+	// Nodes is the TPG size of the winning selection.
+	Nodes int
+	// PathCost is the winning ATSP visit cost (March-operation proxy).
+	PathCost int
+	// Candidates counts the rewrite candidates validated.
+	Candidates int
+	// UsedFallback reports that the rewrite pipeline produced no valid
+	// candidate and the bounded branch-and-bound fallback supplied the
+	// (still provably minimal) test.
+	UsedFallback bool
+	// Elapsed is the wall-clock generation time.
+	Elapsed time.Duration
+	// Coverage is the final validation report.
+	Coverage sim.Coverage
+}
+
+// Generate synthesises a minimal March test covering every instance of the
+// given fault models.
+func Generate(models []fault.Model, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.SelectionLimit <= 0 {
+		opts.SelectionLimit = 64
+	}
+	instances := fault.Instances(models)
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: empty fault list")
+	}
+	classes := tpg.Classes(instances)
+	if opts.DisableEquivalence {
+		classes = splitClasses(classes)
+	}
+	selections := tpg.Selections(classes, opts.SelectionLimit)
+
+	res := &Result{
+		Instances: instances,
+		Classes:   len(classes),
+	}
+	gen := &genContext{instances: instances, verdict: map[string]bool{}}
+	var best *march.Test
+	var lastErr error
+	bestNodes, bestCost := 0, 0
+	seenNodeSets := map[string]bool{}
+	for _, sel := range selections {
+		nodes := tpg.Reduce(classes, sel)
+		nodeSig := ""
+		for _, n := range nodes {
+			nodeSig += n.Pattern.String() + ";"
+		}
+		if seenNodeSets[nodeSig] {
+			continue // different selections can reduce to the same TPG
+		}
+		seenNodeSets[nodeSig] = true
+		patterns, cost, err := orderPatterns(nodes, opts.Exact)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		seenOrder := map[string]bool{}
+		for _, ordered := range patterns {
+			if sig := orderSignature(ordered); seenOrder[sig] {
+				continue
+			} else {
+				seenOrder[sig] = true
+			}
+			cands, err := gts.Assemble(ordered, opts.Beam)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			for _, cand := range cands {
+				res.Candidates++
+				if best != nil && cand.Complexity() >= best.Complexity()+2 {
+					continue // too long to beat the incumbent even after shrinking
+				}
+				if !gen.complete(cand) {
+					continue
+				}
+				if !opts.DisableShrink {
+					cand = gen.shrink(cand)
+				}
+				if better(cand, best) {
+					best = cand
+					bestNodes, bestCost = len(nodes), cost
+				}
+			}
+		}
+	}
+	res.Selections = len(selections)
+	if best == nil && !opts.DisableFallback {
+		best = fallbackSearch(instances, opts)
+		res.UsedFallback = best != nil
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes; last pipeline error: %w)", len(classes), lastErr)
+		}
+		return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes)", len(classes))
+	}
+	best = gen.relaxOrders(best)
+	cov, err := sim.Evaluate(best, instances)
+	if err != nil {
+		return nil, err
+	}
+	if !cov.Complete() {
+		return nil, fmt.Errorf("core: internal error: final test lost coverage")
+	}
+	res.Test = best
+	res.Complexity = best.Complexity()
+	res.Nodes = bestNodes
+	res.PathCost = bestCost
+	res.Coverage = cov
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// fallbackSearch runs the bounded branch-and-bound generator when the
+// rewrite grammar cannot realise some pattern of an exotic user-defined
+// fault. Retention faults are excluded (the search space has no delay
+// elements).
+func fallbackSearch(instances []fault.Instance, opts Options) *march.Test {
+	cap := opts.FallbackCap
+	if cap <= 0 {
+		cap = 12
+	}
+	for _, inst := range instances {
+		for _, b := range inst.BFEs {
+			for _, in := range b.Pattern.Excite {
+				if in.IsWait() {
+					return nil
+				}
+			}
+		}
+	}
+	t, _, err := baseline.BranchBound(instances, cap)
+	if err != nil {
+		return nil
+	}
+	return t
+}
+
+// better orders candidates by complexity, then element count.
+func better(cand, best *march.Test) bool {
+	if best == nil {
+		return true
+	}
+	if cand.Complexity() != best.Complexity() {
+		return cand.Complexity() < best.Complexity()
+	}
+	return len(cand.Elements) < len(best.Elements)
+}
+
+// splitClasses explodes every equivalence class into single-option classes
+// (the Section 5 ablation: every BFE must be realised individually).
+func splitClasses(classes []tpg.Class) []tpg.Class {
+	var out []tpg.Class
+	for _, c := range classes {
+		for k, opt := range c.Options {
+			out = append(out, tpg.Class{
+				Label:   fmt.Sprintf("%s#%d", c.Label, k),
+				Options: []fsm.Pattern{opt},
+			})
+		}
+	}
+	return out
+}
+
+// orderPatterns solves the constrained open-path ATSP over the TPG and
+// returns the pattern orderings worth assembling: every optimal visit (the
+// rewrite engine folds different optimal orders into March tests of
+// different quality) plus each one reversed. In heuristic mode a single
+// near-optimal path and its reverse are returned.
+func orderPatterns(nodes []tpg.Node, exact bool) ([][]fsm.Pattern, int, error) {
+	g := tpg.New(nodes)
+	if len(nodes) == 1 {
+		return [][]fsm.Pattern{{nodes[0].Pattern}}, g.StartCost(0) + g.NodeCost(0), nil
+	}
+	starts := make([]int, len(nodes))
+	total := 0
+	for b := range nodes {
+		starts[b] = g.StartCost(b)
+		total += g.NodeCost(b)
+	}
+	var paths [][]int
+	var cost int
+	if exact {
+		var err error
+		paths, cost, err = atsp.OptimalPaths(atsp.Matrix(g.Weight), starts, 8)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		path, c, err := atsp.Path(atsp.Matrix(g.Weight), starts, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		paths, cost = [][]int{path}, c
+	}
+	var orders [][]fsm.Pattern
+	for _, path := range paths {
+		forward := make([]fsm.Pattern, len(path))
+		backward := make([]fsm.Pattern, len(path))
+		for k, v := range path {
+			forward[k] = nodes[v].Pattern
+			backward[len(path)-1-k] = nodes[v].Pattern
+		}
+		orders = append(orders, forward, backward)
+	}
+	return orders, cost + total, nil
+}
+
+// genContext memoises completeness verdicts by test signature: the same
+// candidate recurs across orderings, selections and shrink steps.
+type genContext struct {
+	instances []fault.Instance
+	verdict   map[string]bool
+}
+
+func (g *genContext) complete(t *march.Test) bool {
+	if t == nil || t.Validate() != nil {
+		return false
+	}
+	sig := t.String()
+	if v, ok := g.verdict[sig]; ok {
+		return v
+	}
+	cov, err := sim.Evaluate(t, g.instances)
+	v := err == nil && cov.Complete()
+	g.verdict[sig] = v
+	return v
+}
+
+// orderSignature fingerprints a pattern ordering for deduplication.
+func orderSignature(patterns []fsm.Pattern) string {
+	sig := ""
+	for _, p := range patterns {
+		sig += p.String() + ";"
+	}
+	return sig
+}
+
+// shrink removes redundant operations: any operation (or delay element)
+// whose removal keeps the test complete is dropped, repeatedly, so the
+// returned test is non-redundant by construction — the property the
+// paper's Set Covering check certifies.
+func (g *genContext) shrink(t *march.Test) *march.Test {
+	cur := t
+	for {
+		improved := false
+	scan:
+		for e := 0; e < len(cur.Elements); e++ {
+			if cur.Elements[e].Delay {
+				cand := dropDelay(cur, e)
+				if g.complete(cand) {
+					cur, improved = cand, true
+					break scan
+				}
+				continue
+			}
+			for o := 0; o < len(cur.Elements[e].Ops); o++ {
+				cand := dropOp(cur, e, o)
+				if cand != nil && g.complete(cand) {
+					cur, improved = cand, true
+					break scan
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// dropOp removes one operation (dropping the element entirely when it was
+// the last one); returns nil when the result would be structurally empty.
+func dropOp(t *march.Test, e, o int) *march.Test {
+	c := t.Clone()
+	elem := &c.Elements[e]
+	elem.Ops = append(elem.Ops[:o], elem.Ops[o+1:]...)
+	if len(elem.Ops) == 0 {
+		c.Elements = append(c.Elements[:e], c.Elements[e+1:]...)
+	}
+	if len(c.Elements) == 0 {
+		return nil
+	}
+	return c
+}
+
+func dropDelay(t *march.Test, e int) *march.Test {
+	c := t.Clone()
+	c.Elements = append(c.Elements[:e], c.Elements[e+1:]...)
+	return c
+}
+
+// relaxOrders widens ⇑/⇓ constraints to ⇕ where coverage allows, matching
+// the conventional presentation of known March tests (Rule 5: elements
+// whose order is irrelevant carry the ⇕ symbol).
+func (g *genContext) relaxOrders(t *march.Test) *march.Test {
+	cur := t.Clone()
+	for e := range cur.Elements {
+		if cur.Elements[e].Delay || cur.Elements[e].Order == march.Any {
+			continue
+		}
+		saved := cur.Elements[e].Order
+		cur.Elements[e].Order = march.Any
+		if !g.complete(cur) {
+			cur.Elements[e].Order = saved
+		}
+	}
+	return cur
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/cover"
+	"marchgen/march"
+)
+
+// randomDeviation builds a random single-point fault effect.
+func randomDeviation(rng *rand.Rand) fsm.Deviation {
+	bit := func() march.Bit { return march.Bit(rng.Intn(3)) } // 0, 1 or X
+	cell := func() fsm.Cell {
+		if rng.Intn(2) == 0 {
+			return fsm.CellI
+		}
+		return fsm.CellJ
+	}
+	when := fsm.S(bit(), bit())
+	var on fsm.Input
+	switch rng.Intn(5) {
+	case 0:
+		on = fsm.Rd(cell())
+	case 1:
+		on = fsm.Wait
+	default:
+		on = fsm.Wr(cell(), march.Bit(rng.Intn(2)))
+	}
+	// Corrupt one cell to a concrete value.
+	next := fsm.Unknown.With(cell(), march.Bit(rng.Intn(2)))
+	if rng.Intn(4) == 0 && on.IsRead() {
+		return fsm.OutputDev(when, on, march.Bit(rng.Intn(2)))
+	}
+	return fsm.TransitionDev(when, on, next)
+}
+
+// TestFuzzRandomUserFaults is the end-to-end fuzz of the paper's
+// "unconstrained, user-defined fault list" claim: random single-deviation
+// fault models are fed through the whole pipeline and every generated test
+// must be complete and operation-minimal. Deviations that are
+// unobservable, masked, or outside the rewrite grammar (read-coupling
+// excitations) are skipped, mirroring what a user would see as a clear
+// error instead of a wrong test.
+func TestFuzzRandomUserFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(998877))
+	trials := 60
+	if testing.Short() {
+		trials = 20
+	}
+	generated := 0
+	for trial := 0; trial < trials; trial++ {
+		var instances []fault.Instance
+		for k := 0; k <= rng.Intn(2); k++ {
+			dev := randomDeviation(rng)
+			inst, err := fault.FromDeviations("FUZZ", devName(trial, k, dev), false, dev)
+			if err != nil {
+				continue // unobservable or masked: correctly rejected
+			}
+			instances = append(instances, inst)
+		}
+		if len(instances) == 0 {
+			continue
+		}
+		model, err := fault.Custom("FUZZ", "randomised fault model", instances...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := Generate([]fault.Model{model}, DefaultOptions())
+		if err != nil {
+			if strings.Contains(err.Error(), "no construction realises") ||
+				strings.Contains(err.Error(), "not supported") {
+				continue // outside the rewrite grammar: clearly reported
+			}
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		generated++
+		if !res.Coverage.Complete() {
+			t.Fatalf("trial %d: incomplete coverage for %s: %v", trial, res.Test, res.Coverage.Missed())
+		}
+		removable, err := cover.RemovableOps(res.Test, res.Instances)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(removable) != 0 {
+			t.Errorf("trial %d: %s has removable ops %v", trial, res.Test, removable)
+		}
+	}
+	if generated < trials/3 {
+		t.Errorf("only %d/%d fuzz trials produced a test — generator too restrictive", generated, trials)
+	}
+}
+
+func devName(trial, k int, dev fsm.Deviation) string {
+	return "FUZZ" + string(rune('a'+trial%26)) + string(rune('0'+k)) + " " + dev.String()
+}

@@ -1,0 +1,264 @@
+// Package cover implements the paper's Section 6 non-redundancy check: the
+// March test is split into elementary blocks (its read-and-verify
+// operations, each the observation of the excitations since the previous
+// read), a Coverage Matrix of blocks × fault conditions is built from the
+// fault simulator's per-run mismatch attribution, and a Set Covering
+// instance over the matrix decides whether every block is necessary: the
+// test is non-redundant exactly when the minimum cover uses all rows.
+//
+// The matrix columns are one per (fault instance, initial memory content,
+// ⇕ resolution) triple — the finest grain at which guaranteed detection is
+// defined — so a block set covering all columns is exactly a block set
+// that still detects every fault.
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"marchgen/fault"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+// Matrix is the Coverage Matrix: Rows lists the flattened operation
+// indices of the test's detecting reads (the elementary blocks), Cols
+// labels the fault conditions, and Cell[r][c] is true when block r
+// observes a mismatch for condition c.
+type Matrix struct {
+	Rows []int
+	Cols []string
+	Cell [][]bool
+}
+
+// Build assembles the Coverage Matrix for a test against a fault list.
+// It fails when some fault condition has no mismatching read at all — the
+// matrix is only meaningful for complete tests.
+func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
+	type column struct {
+		label string
+		ops   []int
+	}
+	var cols []column
+	rowSet := map[int]bool{}
+	for _, inst := range instances {
+		runs, err := sim.Runs(t, inst)
+		if err != nil {
+			return nil, err
+		}
+		for k, run := range runs {
+			if len(run.MismatchOps) == 0 {
+				return nil, fmt.Errorf("cover: test %s misses %s (init %s)", t, inst.Name, run.Init)
+			}
+			cols = append(cols, column{
+				label: fmt.Sprintf("%s/init=%s/res=%d", inst.Name, run.Init, k),
+				ops:   run.MismatchOps,
+			})
+			for _, op := range run.MismatchOps {
+				rowSet[op] = true
+			}
+		}
+	}
+	m := &Matrix{}
+	for op := range rowSet {
+		m.Rows = append(m.Rows, op)
+	}
+	sort.Ints(m.Rows)
+	rowIdx := map[int]int{}
+	for k, op := range m.Rows {
+		rowIdx[op] = k
+	}
+	m.Cell = make([][]bool, len(m.Rows))
+	for r := range m.Cell {
+		m.Cell[r] = make([]bool, len(cols))
+	}
+	for c, col := range cols {
+		m.Cols = append(m.Cols, col.label)
+		for _, op := range col.ops {
+			m.Cell[rowIdx[op]][c] = true
+		}
+	}
+	return m, nil
+}
+
+// Greedy returns a feasible cover by repeatedly picking the row covering
+// the most uncovered columns — the classical approximation, used as the
+// branch-and-bound upper bound.
+func (m *Matrix) Greedy() []int {
+	covered := make([]bool, len(m.Cols))
+	var chosen []int
+	for {
+		best, bestGain := -1, 0
+		for r := range m.Rows {
+			gain := 0
+			for c := range m.Cols {
+				if m.Cell[r][c] && !covered[c] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = r, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		for c := range m.Cols {
+			if m.Cell[best][c] {
+				covered[c] = true
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// MinCover returns an optimal set cover (indices into Rows) by branch and
+// bound, always branching on the uncovered column with the fewest
+// candidate rows.
+func (m *Matrix) MinCover() ([]int, error) {
+	for c := range m.Cols {
+		any := false
+		for r := range m.Rows {
+			if m.Cell[r][c] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("cover: column %s is uncoverable", m.Cols[c])
+		}
+	}
+	best := m.Greedy()
+	covered := make([]int, len(m.Cols)) // coverage multiplicity per column
+	var cur []int
+	var rec func()
+	rec = func() {
+		if len(cur) >= len(best) {
+			return // cannot improve
+		}
+		pick, pickCount := -1, 0
+		for c := range m.Cols {
+			if covered[c] > 0 {
+				continue
+			}
+			count := 0
+			for r := range m.Rows {
+				if m.Cell[r][c] {
+					count++
+				}
+			}
+			if pick < 0 || count < pickCount {
+				pick, pickCount = c, count
+			}
+		}
+		if pick < 0 {
+			best = append([]int(nil), cur...)
+			return
+		}
+		for r := range m.Rows {
+			if !m.Cell[r][pick] {
+				continue
+			}
+			cur = append(cur, r)
+			for c := range m.Cols {
+				if m.Cell[r][c] {
+					covered[c]++
+				}
+			}
+			rec()
+			for c := range m.Cols {
+				if m.Cell[r][c] {
+					covered[c]--
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	sort.Ints(best)
+	return best, nil
+}
+
+// Report is the outcome of the non-redundancy analysis.
+type Report struct {
+	Matrix *Matrix
+	// MinCover is an optimal choice of elementary blocks (flattened op
+	// indices).
+	MinCover []int
+	// RedundantReads lists detecting reads outside the minimum cover
+	// (empty for a non-redundant test).
+	RedundantReads []int
+	// RemovableOps lists operations whose individual removal keeps the
+	// test complete (the stronger, op-level redundancy audit).
+	RemovableOps []int
+	// NonRedundant is true when every elementary block is necessary and
+	// no operation is individually removable.
+	NonRedundant bool
+}
+
+// Analyze runs the full Section 6 check on a test against a fault list.
+func Analyze(t *march.Test, instances []fault.Instance) (*Report, error) {
+	m, err := Build(t, instances)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := m.MinCover()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Matrix: m}
+	for _, r := range mc {
+		rep.MinCover = append(rep.MinCover, m.Rows[r])
+	}
+	inCover := map[int]bool{}
+	for _, r := range mc {
+		inCover[r] = true
+	}
+	for r := range m.Rows {
+		if !inCover[r] {
+			rep.RedundantReads = append(rep.RedundantReads, m.Rows[r])
+		}
+	}
+	removable, err := RemovableOps(t, instances)
+	if err != nil {
+		return nil, err
+	}
+	rep.RemovableOps = removable
+	rep.NonRedundant = len(rep.RedundantReads) == 0 && len(removable) == 0
+	return rep, nil
+}
+
+// RemovableOps returns the flattened indices of operations whose
+// individual removal keeps the test complete — the op-level redundancy
+// audit (stronger than the read-block set covering, since it also judges
+// writes).
+func RemovableOps(t *march.Test, instances []fault.Instance) ([]int, error) {
+	cov, err := sim.Evaluate(t, instances)
+	if err != nil {
+		return nil, err
+	}
+	if !cov.Complete() {
+		return nil, fmt.Errorf("cover: test %s misses %v", t, cov.Missed())
+	}
+	var removable []int
+	flat := 0
+	for e := range t.Elements {
+		for o := range t.Elements[e].Ops {
+			cand := t.Clone()
+			elem := &cand.Elements[e]
+			elem.Ops = append(append([]march.Op(nil), elem.Ops[:o]...), elem.Ops[o+1:]...)
+			if len(elem.Ops) == 0 {
+				cand.Elements = append(cand.Elements[:e], cand.Elements[e+1:]...)
+			}
+			if len(cand.Elements) > 0 && cand.Validate() == nil {
+				if c2, err := sim.Evaluate(cand, instances); err == nil && c2.Complete() {
+					removable = append(removable, flat)
+				}
+			}
+			flat++
+		}
+	}
+	return removable, nil
+}

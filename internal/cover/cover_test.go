@@ -1,0 +1,136 @@
+package cover
+
+import (
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/march"
+)
+
+func instances(t *testing.T, list string) []fault.Instance {
+	t.Helper()
+	models, err := fault.ParseList(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fault.Instances(models)
+}
+
+func known(t *testing.T, name string) *march.Test {
+	t.Helper()
+	kt, ok := march.Known(name)
+	if !ok {
+		t.Fatalf("unknown %s", name)
+	}
+	return kt.Test
+}
+
+func TestBuildMATSvsSAF(t *testing.T) {
+	m, err := Build(known(t, "MATS"), instances(t, "SAF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MATS = ⇕(w0); ⇕(r0,w1); ⇕(r1): reads at flattened ops 1 and 3.
+	if len(m.Rows) != 2 || m.Rows[0] != 1 || m.Rows[1] != 3 {
+		t.Errorf("rows %v, want [1 3]", m.Rows)
+	}
+	// SAF: 2 instances × 4 inits × 8 resolutions.
+	if len(m.Cols) != 64 {
+		t.Errorf("%d columns, want 64", len(m.Cols))
+	}
+}
+
+func TestBuildRejectsIncomplete(t *testing.T) {
+	if _, err := Build(known(t, "MATS"), instances(t, "TF")); err == nil {
+		t.Error("MATS does not cover TF; Build must fail")
+	}
+}
+
+func TestMATSIsNonRedundantForSAF(t *testing.T) {
+	rep, err := Analyze(known(t, "MATS"), instances(t, "SAF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NonRedundant {
+		t.Errorf("MATS vs SAF must be non-redundant: redundant reads %v, removable ops %v",
+			rep.RedundantReads, rep.RemovableOps)
+	}
+	if len(rep.MinCover) != len(rep.Matrix.Rows) {
+		t.Errorf("min cover %v vs rows %v", rep.MinCover, rep.Matrix.Rows)
+	}
+}
+
+// TestMarchCIsRedundantForCoupling reproduces the classic fact motivating
+// March C-: March C contains a redundant ⇕(r0) element.
+func TestMarchCIsRedundantForCoupling(t *testing.T) {
+	insts := instances(t, "SAF,TF,ADF,CFin,CFid")
+	rep, err := Analyze(known(t, "MarchC"), insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonRedundant {
+		t.Error("March C must be redundant for the March C- fault list")
+	}
+	found := false
+	for _, op := range rep.RemovableOps {
+		if op == 5 { // the middle ⇕(r0): ops w0,r0,w1,r1,w0,[r0],...
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("removable ops %v must include the middle ⇕(r0) read (op 5)", rep.RemovableOps)
+	}
+
+	// March C- itself is non-redundant for the same list.
+	rep, err = Analyze(known(t, "MarchC-"), insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovableOps) != 0 {
+		t.Errorf("March C- must have no removable ops, got %v", rep.RemovableOps)
+	}
+}
+
+func TestGreedyCoversEverything(t *testing.T) {
+	m, err := Build(known(t, "MarchC-"), instances(t, "CFid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := m.Greedy()
+	covered := make([]bool, len(m.Cols))
+	for _, r := range chosen {
+		for c := range m.Cols {
+			if m.Cell[r][c] {
+				covered[c] = true
+			}
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			t.Fatalf("greedy cover misses column %s", m.Cols[c])
+		}
+	}
+	mc, err := m.MinCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc) > len(chosen) {
+		t.Errorf("min cover %d larger than greedy %d", len(mc), len(chosen))
+	}
+}
+
+// TestSOFConjunctiveColumns: a stuck-open fault needs two different reads —
+// the per-initial-content columns make this expressible.
+func TestSOFConjunctiveColumns(t *testing.T) {
+	test, err := march.Parse("{ ⇕(w0); ⇕(r0); ⇕(w1); ⇕(r1) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(test, instances(t, "SOF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MinCover) < 2 {
+		t.Errorf("SOF needs at least two elementary blocks, min cover %v", rep.MinCover)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatFigure4 renders the Figure 4 TPG as a markdown weight matrix with
+// the paper's TP1..TP4 node names.
+func FormatFigure4() (string, error) {
+	g, err := Figure4()
+	if err != nil {
+		return "", err
+	}
+	names := []string{"TP1", "TP2", "TP3", "TP4"}
+	var b strings.Builder
+	b.WriteString("| from \\ to |")
+	for k, n := range g.Nodes {
+		fmt.Fprintf(&b, " %s `%s` |", names[k], n.Pattern)
+	}
+	b.WriteString("\n|---|")
+	for range g.Nodes {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for a := range g.Nodes {
+		fmt.Fprintf(&b, "| **%s** `%s` |", names[a], g.Nodes[a].Pattern)
+		for bb := range g.Nodes {
+			if a == bb {
+				b.WriteString(" – |")
+			} else {
+				fmt.Fprintf(&b, " %d |", g.Weight[a][bb])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Report generates the full EXPERIMENTS.md body from live runs. With
+// deep=true the heavyweight optimality certifications are included.
+func Report(deep bool) (string, error) {
+	start := time.Now()
+	var b strings.Builder
+	b.WriteString(`# EXPERIMENTS — paper vs. this reproduction
+
+Regenerate this file with ` + "`go run ./cmd/marchtable -write`" + `
+(add ` + "`-deep`" + ` for the branch-and-bound optimality certifications).
+
+Paper: Benso, Di Carlo, Di Natale, Prinetto, *An Optimal Algorithm for the
+Automatic Generation of March Tests*, DATE 2002. The paper's timings were
+measured on a Compaq Presario PIII-650 laptop (128 MB RAM), its algorithm
+implemented in ~5000 lines of C plus the Fortran ACM 750 exact ATSP code;
+this repository reruns everything in pure Go on the current machine, so
+absolute times are not comparable — the shape (milliseconds-scale
+generation, optimal complexities, non-redundancy) is what reproduces.
+
+## Table 3 — generated March tests per fault list
+
+Every row is re-generated, simulator-validated for completeness, and
+certified non-redundant via the Coverage-Matrix / Set-Covering analysis
+(Section 6). The reproduced complexity matches the paper on every row.
+
+`)
+	t3, err := Table3()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatTable3(t3))
+	match := true
+	for _, r := range t3 {
+		if r.Complexity != r.PaperComplexity || !r.Complete || !r.NonRedundant {
+			match = false
+		}
+	}
+	fmt.Fprintf(&b, "\nAll complexities match the paper: **%v**.\n", match)
+	b.WriteString(`
+One sharpening the simulator adds to the paper's "equivalent known" column:
+MATS+ — the classic 5n citation for SAF+TF — does not actually *cover* the
+falling transition fault (the very reason MATS++ exists), so the cheapest
+covering classic for row 2 is MATS++ at 6n and the generated 5n test
+strictly beats the library, as does the 5n CFin test of row 6
+(` + "`TestEquivalentKnownColumn`" + `).
+`)
+
+	b.WriteString(`
+## Figure 4 — Test Pattern Graph for {⟨↑;1⟩, ⟨↑;0⟩}
+
+Edge weights are Hamming distances between the source pattern's
+observation state and the target pattern's initialisation state (f.4.1).
+The multiset {0×2, 1×4, 2×6} and the exact matrix match the paper's
+figure.
+
+`)
+	fig4, err := FormatFigure4()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(fig4)
+
+	b.WriteString(`
+## Section 4 worked example — {⟨↑;1⟩, ⟨↑;0⟩}
+
+The paper derives a 12-operation Global Test Sequence, minimises it to 8
+operations and emits an 8n five-element March test (⇑⇑⇑⇓⇓). The pipeline
+reproduces the 8n optimum (element shapes may differ; optimality is what
+the paper claims, and the branch-and-bound oracle certifies that no March
+test below 8n covers the list):
+
+`)
+	we, err := WorkedExample()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "    %s   — %dn, %d elements, generated in %s\n",
+		we.Test, we.Complexity, len(we.Test.Elements), round(we.Elapsed))
+
+	b.WriteString(`
+## Section 2/6 — efficiency against exhaustive prior work
+
+The paper's central claim: the TPG+ATSP pipeline generates optimal tests
+"in very low computation time without exhaustive searches", unlike the
+transition-tree enumeration of van de Goor & Smit [2-4] and the pruned
+branch-and-bound of Zarrineh et al. [5]. Both baselines are implemented
+here and return provably minimal tests — at an exponentially growing cost
+the pipeline does not pay:
+
+`)
+	cmp, err := Comparison(deep)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatComparison(cmp))
+	if !deep {
+		b.WriteString("\n(The 10n row-5 certification takes ~20 s of branch and bound; run with `-deep`.)\n")
+	}
+
+	b.WriteString(`
+## Section 5 — BFE equivalence ablation
+
+Grouping the BFEs of one fault into an equivalence class (pick any one
+test pattern) instead of forcing every BFE keeps the TPG small:
+
+`)
+	abl, err := EquivalenceAblation()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(FormatAblation(abl))
+	b.WriteString("\n")
+
+	ext, err := ExtensionsReport()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(ext)
+
+	fmt.Fprintf(&b, "\n---\nGenerated in %s total.\n", time.Since(start).Round(10*time.Millisecond))
+	return b.String(), nil
+}

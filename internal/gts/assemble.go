@@ -1,0 +1,358 @@
+package gts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// Options tunes the assembler.
+type Options struct {
+	// BeamWidth bounds the number of partial constructions kept per step.
+	BeamWidth int
+	// MaxCandidates bounds the number of finished tests returned.
+	MaxCandidates int
+}
+
+// DefaultOptions returns the assembler defaults.
+func DefaultOptions() Options { return Options{BeamWidth: 48, MaxCandidates: 12} }
+
+// state is a partial March construction: a list of elements of which the
+// last one is still open for appends, plus the uniform memory value before
+// (pre) and after (end) the open element's operations.
+type state struct {
+	elems    []march.Element
+	pre, end march.Bit
+	leadRead bool // the open element starts with a read-and-verify
+	needRead bool // excitations are pending a future leading read
+	// locked marks an open element whose closing value is load-bearing (a
+	// case-(ii) pair realisation): further appends must first open a new
+	// element instead of growing it.
+	locked bool
+	cost   int
+}
+
+func (st *state) clone() *state {
+	c := *st
+	c.elems = make([]march.Element, len(st.elems))
+	for k, e := range st.elems {
+		c.elems[k] = march.Element{Order: e.Order, Delay: e.Delay, Ops: append([]march.Op(nil), e.Ops...)}
+	}
+	return &c
+}
+
+// key is the beam deduplication signature.
+func (st *state) key() string {
+	var b strings.Builder
+	for _, e := range st.elems {
+		b.WriteString(e.String())
+		b.WriteByte(';')
+	}
+	if st.needRead {
+		b.WriteByte('!')
+	}
+	return b.String()
+}
+
+// closed finalises the construction: pending excitations get their
+// observing read as a trailing ⇕(r) element.
+func (st *state) closed() *march.Test {
+	c := st.clone()
+	if c.needRead && c.end.Known() {
+		c.elems = append(c.elems, march.Elem(march.Any, march.Op{Kind: march.Read, Data: c.end}))
+	}
+	return &march.Test{Elements: c.elems}
+}
+
+// appendOp appends an operation to the open element (creating the initial
+// element when none exists, and opening a fresh element when the current
+// one is locked). Read appends require the chain value to match.
+func (st *state) appendOp(op march.Op) bool {
+	if st.locked && !st.open(march.Any) {
+		return false
+	}
+	if op.IsRead() && st.end != op.Data {
+		return false
+	}
+	if len(st.elems) == 0 {
+		if op.IsRead() {
+			return false
+		}
+		st.elems = append(st.elems, march.Elem(march.Any))
+		st.pre, st.end, st.leadRead = march.X, march.X, false
+	}
+	last := &st.elems[len(st.elems)-1]
+	if last.Delay {
+		return false
+	}
+	last.Ops = append(last.Ops, op)
+	if op.IsWrite() {
+		st.end = op.Data
+	}
+	st.cost++
+	return true
+}
+
+// drive makes the open element's chain value equal v (appending a write if
+// needed). It reports failure only when v is unknown.
+func (st *state) drive(v march.Bit) bool {
+	if !v.Known() || st.end == v {
+		return true
+	}
+	return st.appendOp(march.Op{Kind: march.Write, Data: v})
+}
+
+// open closes the current element and starts a new one leading with a
+// read-and-verify of the memory's uniform value, which observes every
+// pending excitation.
+func (st *state) open(dir march.Order) bool {
+	if !st.end.Known() || len(st.elems) == 0 {
+		return false
+	}
+	st.elems = append(st.elems, march.Elem(dir, march.Op{Kind: march.Read, Data: st.end}))
+	st.pre = st.end
+	st.leadRead = true
+	st.needRead = false
+	st.locked = false
+	st.cost++
+	return true
+}
+
+// forceDir constrains the open element's addressing order, failing on
+// conflict.
+func (st *state) forceDir(dir march.Order) bool {
+	if len(st.elems) == 0 {
+		return false
+	}
+	last := &st.elems[len(st.elems)-1]
+	if last.Order == march.Any {
+		last.Order = dir
+		return true
+	}
+	return last.Order == dir
+}
+
+// delay closes the current element with a Del element (the wait symbol T).
+func (st *state) delay() bool {
+	if len(st.elems) == 0 || !st.end.Known() {
+		return false
+	}
+	st.elems = append(st.elems, march.DelayElement())
+	return true
+}
+
+// Assemble converts the ordered test patterns of an optimal TPG visit into
+// candidate March tests, cheapest first. Every returned test realises all
+// patterns structurally; the caller must still validate fault coverage
+// against the real fault machines.
+func Assemble(patterns []fsm.Pattern, opts Options) ([]*march.Test, error) {
+	if opts.BeamWidth <= 0 {
+		opts = DefaultOptions()
+	}
+	shapes := make([]shape, len(patterns))
+	for k, p := range patterns {
+		s, err := normalise(p)
+		if err != nil {
+			return nil, err
+		}
+		shapes[k] = s
+	}
+	beam := []*state{{pre: march.X, end: march.X}}
+	oracle := newOracle()
+	for _, s := range shapes {
+		var next []*state
+		for _, st := range beam {
+			next = append(next, expand(st, s, oracle)...)
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("gts: no construction realises pattern %s", s.pattern)
+		}
+		beam = prune(next, opts.BeamWidth)
+	}
+	var out []*march.Test
+	seen := map[string]bool{}
+	for _, st := range beam {
+		t := st.closed()
+		sig := t.String()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, t)
+		if len(out) >= opts.MaxCandidates {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gts: assembly produced no candidates")
+	}
+	return out, nil
+}
+
+// prune sorts by cost (ties: fewer elements) and deduplicates.
+func prune(states []*state, width int) []*state {
+	sort.SliceStable(states, func(a, b int) bool {
+		if states[a].cost != states[b].cost {
+			return states[a].cost < states[b].cost
+		}
+		return len(states[a].elems) < len(states[b].elems)
+	})
+	seen := map[string]bool{}
+	var out []*state
+	for _, st := range states {
+		k := st.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, st)
+		if len(out) >= width {
+			break
+		}
+	}
+	return out
+}
+
+// expand applies every rewrite template of the shape to the state.
+func expand(st *state, s shape, oracle *oracle) []*state {
+	var out []*state
+	emit := func(c *state, ok bool) {
+		if ok {
+			out = append(out, c)
+		}
+	}
+	// Minimisation: skip patterns the partial construction already covers.
+	if len(st.elems) > 0 && oracle.covered(st.closed(), s.pattern) {
+		emit(st.clone(), true)
+	} else if len(st.elems) > 0 && st.end.Known() {
+		// Virtual skip: the pattern's excitation is already present and
+		// only awaits a future leading read. Locking the element keeps
+		// later appends from overwriting the corruption before it is
+		// observed.
+		virt := st.clone()
+		virt.needRead = true
+		if oracle.covered(virt.closed(), s.pattern) {
+			virt.locked = true
+			emit(virt, true)
+		}
+	}
+	switch s.kind {
+	case shapeSingle:
+		if s.hasExcite && s.cond.Known() {
+			// Conditioned single-cell fault: the non-excited cell must
+			// hold cond at excitation time, so the element needs the same
+			// order discipline as a pair fault. Within an element the
+			// condition cell is untouched (= pre) when it is walked after
+			// the excited cell, or holds the closing value when walked
+			// before it.
+			dirWithin, dirAcross := march.Up, march.Down
+			if s.condLow {
+				dirWithin, dirAcross = march.Down, march.Up
+			}
+			// Case (i), new element with immediate trailing read.
+			c := st.clone()
+			emit(c, c.drive(s.cond) && c.open(dirWithin) && c.drive(s.a) &&
+				c.appendOp(s.excite) && c.appendOp(march.Op{Kind: march.Read, Data: s.b}))
+			// Case (i), new element, observation deferred (the element is
+			// locked so the corruption survives to the next leading read —
+			// which walks the corrupted cell before re-writing it).
+			c = st.clone()
+			emit(c, c.drive(s.cond) && c.open(dirWithin) && c.drive(s.a) &&
+				c.appendOp(s.excite) &&
+				func() bool { c.needRead, c.locked = true, true; return true }())
+			// Case (i), extension of a compatible element.
+			c = st.clone()
+			emit(c, !c.locked && c.leadRead && c.pre == s.cond && (s.a == march.X || c.end == s.a) &&
+				c.forceDir(dirWithin) && c.appendOp(s.excite) &&
+				c.appendOp(march.Op{Kind: march.Read, Data: s.b}))
+			// Case (ii): the condition cell is walked first and holds the
+			// element's closing value; needs a write excitation equal to
+			// cond and a later leading read.
+			if s.excite.IsWrite() && s.excite.Data == s.cond {
+				c = st.clone()
+				emit(c, !c.locked && c.forceDir(dirAcross) && c.drive(s.a) && c.appendOp(s.excite) &&
+					func() bool { c.needRead, c.locked = true, true; return true }())
+				c = st.clone()
+				emit(c, c.end.Known() && c.open(dirAcross) && c.drive(s.a) && c.appendOp(s.excite) &&
+					func() bool { c.needRead, c.locked = true, true; return true }())
+			}
+			break
+		}
+		if s.hasExcite {
+			// Same-element excitation, observation deferred to the next
+			// leading read. The element is locked: a later write would
+			// overwrite the pending corruption before it is observed.
+			c := st.clone()
+			emit(c, c.drive(s.a) && c.appendOp(s.excite) &&
+				func() bool { c.needRead, c.locked = true, true; return true }())
+			// Same-element excitation with an immediate trailing read.
+			c = st.clone()
+			emit(c, c.drive(s.a) && c.appendOp(s.excite) &&
+				c.appendOp(march.Op{Kind: march.Read, Data: s.b}))
+			// Non-transition write excitations (write destructive faults)
+			// need the pre-value established by a genuine transition, or
+			// the establishing write is itself the excitation and the
+			// "exciting" one repairs the corruption.
+			if s.excite.IsWrite() && s.excite.Data == s.a {
+				c = st.clone()
+				emit(c, c.appendOp(march.Op{Kind: march.Write, Data: s.a.Not()}) &&
+					c.appendOp(march.Op{Kind: march.Write, Data: s.a}) &&
+					c.appendOp(s.excite) &&
+					c.appendOp(march.Op{Kind: march.Read, Data: s.b}))
+				c = st.clone()
+				emit(c, c.appendOp(march.Op{Kind: march.Write, Data: s.a.Not()}) &&
+					c.appendOp(march.Op{Kind: march.Write, Data: s.a}) &&
+					c.appendOp(s.excite) &&
+					func() bool { c.needRead, c.locked = true, true; return true }())
+			}
+			// Fresh element (its leading read observes prior pending
+			// excitations first).
+			c = st.clone()
+			emit(c, c.end.Known() && c.open(march.Any) && c.drive(s.a) &&
+				c.appendOp(s.excite) &&
+				func() bool { c.needRead, c.locked = true, true; return true }())
+		} else {
+			// Observation-only: a read of the cell while it holds a.
+			c := st.clone()
+			emit(c, c.drive(s.a) && c.appendOp(march.Op{Kind: march.Read, Data: s.b}))
+			c = st.clone()
+			emit(c, c.drive(s.a) && c.end == s.b && c.open(march.Any))
+		}
+	case shapePair:
+		e := s.excite.Data
+		dirWithin, dirAcross := march.Down, march.Up
+		if s.aggLow {
+			dirWithin, dirAcross = march.Up, march.Down
+		}
+		// Case (i), new element: ⇑/⇓(r_b, [w_a,] w_e) — the victim is
+		// processed after the aggressor and still holds the element's
+		// pre-value b; the element's own leading read observes.
+		c := st.clone()
+		emit(c, c.drive(s.b) && c.open(dirWithin) && c.drive(s.a) && c.appendOp(s.excite))
+		// Case (i), extension of the current element.
+		c = st.clone()
+		emit(c, !c.locked && c.leadRead && c.pre == s.b && (s.a == march.X || c.end == s.a) &&
+			c.forceDir(dirWithin) && c.appendOp(s.excite))
+		// Case (ii): the victim is processed before the aggressor and
+		// already holds the element's closing value; requires a write
+		// excitation with b == e and a later leading read. (Read-coupling
+		// excitations only realise through case (i): the read leaves the
+		// chain value unchanged, so the element close value equals the
+		// chain, not a victim-specific value.)
+		if s.excite.IsWrite() && s.b == e {
+			c = st.clone()
+			emit(c, !c.locked && c.forceDir(dirAcross) && c.drive(s.a) && c.appendOp(s.excite) &&
+				func() bool { c.needRead, c.locked = true, true; return true }())
+			c = st.clone()
+			emit(c, c.end.Known() && c.open(dirAcross) && c.drive(s.a) && c.appendOp(s.excite) &&
+				func() bool { c.needRead, c.locked = true, true; return true }())
+		}
+	case shapeRetention:
+		c := st.clone()
+		emit(c, c.drive(s.a) && c.delay() && c.open(march.Any))
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package gts
+
+import (
+	"marchgen/fsm"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+// syntheticMachine builds the canonical faulty machine whose single Basic
+// Fault Effect is exactly the given test pattern: triggered in the
+// pattern's initialisation state by its excitation, it corrupts the
+// observed cell (or, for observation-only patterns, lies on the observing
+// read). A test realises the pattern if and only if it detects this
+// machine.
+func syntheticMachine(p fsm.Pattern) fsm.Machine {
+	flip := p.GoodObservation().Not()
+	if len(p.Excite) == 0 {
+		return fsm.WithDeviations("synthetic "+p.String(),
+			fsm.OutputDev(p.Init, p.Observe, flip))
+	}
+	next := fsm.Unknown.With(p.Observe.Cell, flip)
+	return fsm.WithDeviations("synthetic "+p.String(),
+		fsm.TransitionDev(p.Init, p.Excite[0], next))
+}
+
+// oracle memoises coverage checks: identical (partial test, pattern)
+// queries recur heavily across beam branches.
+type oracle struct {
+	machines map[string]fsm.Machine
+	verdict  map[string]bool
+}
+
+func newOracle() *oracle {
+	return &oracle{machines: map[string]fsm.Machine{}, verdict: map[string]bool{}}
+}
+
+// covered reports whether the (possibly partial) March test already
+// realises the pattern, checking the all-ascending and all-descending
+// resolutions of its ⇕ elements. The full resolution enumeration is left
+// to the caller's final validation; this fast check drives the
+// minimisation phase (no operation is emitted for an already-realised
+// pattern).
+func (o *oracle) covered(t *march.Test, p fsm.Pattern) bool {
+	if t == nil || len(t.Elements) == 0 {
+		return false
+	}
+	pKey := p.String()
+	key := t.String() + "#" + pKey
+	if v, ok := o.verdict[key]; ok {
+		return v
+	}
+	m, ok := o.machines[pKey]
+	if !ok {
+		m = syntheticMachine(p)
+		o.machines[pKey] = m
+	}
+	v := coveredBy(t, m)
+	o.verdict[key] = v
+	return v
+}
+
+func coveredBy(t *march.Test, m fsm.Machine) bool {
+	for _, dir := range []march.Order{march.Up, march.Down} {
+		res := make([]march.Order, len(t.Elements))
+		for k, e := range t.Elements {
+			res[k] = e.Order
+			if e.Order == march.Any {
+				res[k] = dir
+			}
+		}
+		trace, _ := sim.Trace(t, res)
+		if !fsm.Detects(m, trace) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// InstanceResult is the verdict of a March test on one fault instance.
+type InstanceResult struct {
+	Instance fault.Instance
+	// Detected reports guaranteed detection: a mismatch occurs for every
+	// initial memory content under every ⇕ resolution.
+	Detected bool
+	// DetectingOps lists the flattened operation indices of the test
+	// whose reads individually guarantee detection (mismatch for every
+	// initial content, under every resolution). These are the columns of
+	// the Coverage Matrix rows the instance can be charged to.
+	DetectingOps []int
+}
+
+// Coverage is the result of evaluating a March test against a fault list.
+type Coverage struct {
+	Test    *march.Test
+	Results []InstanceResult
+}
+
+// Complete reports whether every instance is detected.
+func (c Coverage) Complete() bool {
+	for _, r := range c.Results {
+		if !r.Detected {
+			return false
+		}
+	}
+	return true
+}
+
+// Missed returns the names of undetected instances.
+func (c Coverage) Missed() []string {
+	var out []string
+	for _, r := range c.Results {
+		if !r.Detected {
+			out = append(out, r.Instance.Name)
+		}
+	}
+	return out
+}
+
+// Evaluate runs the two-cell engine: the March test is reduced to the input
+// trace it induces on an aggressor/victim pair and each instance's machine
+// is checked under the guaranteed-detection semantics. This placement-free
+// reduction is exact because a March test applies identical operation
+// sequences to every cell pair (see the package tests, which cross-check it
+// against the n-cell engine).
+func Evaluate(t *march.Test, instances []fault.Instance) (Coverage, error) {
+	if err := SelfConsistent(t); err != nil {
+		return Coverage{}, err
+	}
+	resolutions, err := Resolutions(t)
+	if err != nil {
+		return Coverage{}, err
+	}
+	type traced struct {
+		trace     []fsm.Input
+		positions []int
+	}
+	traces := make([]traced, len(resolutions))
+	for k, res := range resolutions {
+		tr, pos := Trace(t, res)
+		traces[k] = traced{tr, pos}
+	}
+	cov := Coverage{Test: t}
+	for _, inst := range instances {
+		r := InstanceResult{Instance: inst, Detected: true}
+		detecting := map[int]int{} // op index -> number of resolutions confirming
+		for _, tr := range traces {
+			if !fsm.Detects(inst.Machine, tr.trace) {
+				r.Detected = false
+			}
+			for _, k := range fsm.DetectingReads(inst.Machine, tr.trace) {
+				if tr.positions[k] >= 0 {
+					detecting[tr.positions[k]]++
+				}
+			}
+		}
+		for op, cnt := range detecting {
+			if cnt == len(resolutions) {
+				r.DetectingOps = append(r.DetectingOps, op)
+			}
+		}
+		sort.Ints(r.DetectingOps)
+		cov.Results = append(cov.Results, r)
+	}
+	return cov, nil
+}
+
+// Run is one (initial memory content, ⇕ resolution) execution of a March
+// test against a fault instance.
+type Run struct {
+	// Init is the initial content of the instance's two model cells.
+	Init fsm.State
+	// Resolution is the concrete addressing order of each element.
+	Resolution []march.Order
+	// MismatchOps lists the flattened operation indices whose reads
+	// exposed the fault in this run.
+	MismatchOps []int
+}
+
+// Runs executes the test against one instance for every initial content
+// and every ⇕ resolution, reporting per-run mismatch attribution. The test
+// detects the instance exactly when every run has at least one mismatch;
+// this is the granularity at which the Coverage Matrix of the paper's
+// Section 6 is built.
+func Runs(t *march.Test, inst fault.Instance) ([]Run, error) {
+	resolutions, err := Resolutions(t)
+	if err != nil {
+		return nil, err
+	}
+	var out []Run
+	for _, res := range resolutions {
+		trace, positions := Trace(t, res)
+		for _, init := range fsm.ConcreteStates() {
+			run := Run{Init: init, Resolution: res}
+			seen := map[int]bool{}
+			for _, k := range fsm.MismatchingReads(inst.Machine, trace, init) {
+				if op := positions[k]; op >= 0 && !seen[op] {
+					seen[op] = true
+					run.MismatchOps = append(run.MismatchOps, op)
+				}
+			}
+			sort.Ints(run.MismatchOps)
+			out = append(out, run)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateN runs the n-cell engine on a memory of the given size: each
+// instance is placed at representative address pairs, every initial content
+// of the involved cells and every ⇕ resolution is enumerated, and detection
+// must hold in all of them.
+func EvaluateN(t *march.Test, instances []fault.Instance, n int) (Coverage, error) {
+	if err := SelfConsistent(t); err != nil {
+		return Coverage{}, err
+	}
+	resolutions, err := Resolutions(t)
+	if err != nil {
+		return Coverage{}, err
+	}
+	cov := Coverage{Test: t}
+	for _, inst := range instances {
+		r := InstanceResult{Instance: inst, Detected: true}
+		detecting := map[int]int{}
+		runs := 0
+		for _, pair := range placements(n) {
+			for initMask := 0; initMask < 4; initMask++ {
+				for _, res := range resolutions {
+					mism, err := runPlaced(t, inst, n, pair, initMask, res)
+					if err != nil {
+						return Coverage{}, err
+					}
+					runs++
+					if len(mism) == 0 {
+						r.Detected = false
+					}
+					for _, op := range mism {
+						detecting[op]++
+					}
+				}
+			}
+		}
+		for op, cnt := range detecting {
+			if cnt == runs {
+				r.DetectingOps = append(r.DetectingOps, op)
+			}
+		}
+		sort.Ints(r.DetectingOps)
+		cov.Results = append(cov.Results, r)
+	}
+	return cov, nil
+}
+
+// placements returns representative (A, B) address pairs with A < B:
+// adjacent at the bottom, spanning the array, adjacent at the top.
+func placements(n int) [][2]int {
+	set := [][2]int{{0, 1}, {0, n - 1}, {n - 2, n - 1}}
+	if n > 4 {
+		set = append(set, [2]int{n / 2, n/2 + 1})
+	}
+	// Deduplicate for tiny memories.
+	var out [][2]int
+	seen := map[[2]int]bool{}
+	for _, p := range set {
+		if p[0] < p[1] && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runPlaced executes one simulation run and returns the mismatching
+// operation indices.
+func runPlaced(t *march.Test, inst fault.Instance, n int, pair [2]int, initMask int, res []march.Order) ([]int, error) {
+	mem, err := NewMemory(n, &PlacedFault{Instance: inst, A: pair[0], B: pair[1]})
+	if err != nil {
+		return nil, err
+	}
+	mem.SetCell(pair[0], march.BitOf(initMask&1 != 0))
+	mem.SetCell(pair[1], march.BitOf(initMask&2 != 0))
+	return mem.RunMarch(t, res), nil
+}
+
+// statesEqualErr is referenced by tests to document cross-engine agreement
+// failures.
+func statesEqualErr(name string, a, b Coverage) error {
+	if len(a.Results) != len(b.Results) {
+		return fmt.Errorf("sim: %s: result count %d vs %d", name, len(a.Results), len(b.Results))
+	}
+	for k := range a.Results {
+		if a.Results[k].Detected != b.Results[k].Detected {
+			return fmt.Errorf("sim: %s: instance %s: two-cell says %v, n-cell says %v",
+				name, a.Results[k].Instance.Name, a.Results[k].Detected, b.Results[k].Detected)
+		}
+	}
+	return nil
+}

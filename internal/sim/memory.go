@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+// Memory is a simulated n-cell one-bit-per-cell RAM with at most one
+// injected fault instance (the customary single-fault assumption of memory
+// testing). Cell values are ternary: X models an uninitialised cell.
+type Memory struct {
+	cells []march.Bit
+	flt   *PlacedFault
+}
+
+// PlacedFault is a fault instance bound to concrete memory addresses: the
+// instance's model cell i is placed at address A and cell j at address B.
+// Every access to A or B is routed through the instance's faulty two-cell
+// machine, so the n-cell behaviour is exactly the instance's behaviour.
+type PlacedFault struct {
+	Instance fault.Instance
+	A, B     int
+}
+
+// NewMemory builds an n-cell memory, optionally with a placed fault.
+// The initial content of every cell is X (uninitialised).
+func NewMemory(n int, flt *PlacedFault) (*Memory, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("sim: memory needs at least 2 cells, got %d", n)
+	}
+	if flt != nil {
+		if flt.A == flt.B || flt.A < 0 || flt.B < 0 || flt.A >= n || flt.B >= n {
+			return nil, fmt.Errorf("sim: fault placement (%d,%d) out of range for %d cells", flt.A, flt.B, n)
+		}
+	}
+	cells := make([]march.Bit, n)
+	for k := range cells {
+		cells[k] = march.X
+	}
+	return &Memory{cells: cells, flt: flt}, nil
+}
+
+// Size returns the number of cells.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// SetCell forces the content of a cell — used to enumerate initial memory
+// contents.
+func (m *Memory) SetCell(addr int, v march.Bit) { m.cells[addr] = v }
+
+// Cell returns the raw stored content of a cell (bypassing the fault's
+// read behaviour).
+func (m *Memory) Cell(addr int) march.Bit { return m.cells[addr] }
+
+// pairState assembles the two-cell machine state from the placed cells.
+func (m *Memory) pairState() fsm.State {
+	return fsm.S(m.cells[m.flt.A], m.cells[m.flt.B])
+}
+
+// storePair writes the two-cell machine state back to the placed cells.
+func (m *Memory) storePair(s fsm.State) {
+	m.cells[m.flt.A] = s.I
+	m.cells[m.flt.B] = s.J
+}
+
+// cellOf maps a faulty address to its model cell.
+func (m *Memory) cellOf(addr int) (fsm.Cell, bool) {
+	if m.flt == nil {
+		return 0, false
+	}
+	switch addr {
+	case m.flt.A:
+		return fsm.CellI, true
+	case m.flt.B:
+		return fsm.CellJ, true
+	default:
+		return 0, false
+	}
+}
+
+// Write stores data at addr, routing through the fault machine when the
+// address is involved in the fault.
+func (m *Memory) Write(addr int, data march.Bit) {
+	if c, ok := m.cellOf(addr); ok {
+		in := fsm.Wr(c, data)
+		m.storePair(m.flt.Instance.Machine.Next(m.pairState(), in))
+		return
+	}
+	m.cells[addr] = data
+}
+
+// Read returns the value sensed at addr, applying the fault machine's read
+// output and read side effects when the address is involved in the fault.
+func (m *Memory) Read(addr int) march.Bit {
+	if c, ok := m.cellOf(addr); ok {
+		in := fsm.Rd(c)
+		s := m.pairState()
+		out := m.flt.Instance.Machine.Output(s, in)
+		m.storePair(m.flt.Instance.Machine.Next(s, in))
+		return out
+	}
+	return m.cells[addr]
+}
+
+// Delay applies the wait symbol T (a Del March element): only the fault
+// machine reacts (e.g. a data-retention leak).
+func (m *Memory) Delay() {
+	if m.flt == nil {
+		return
+	}
+	m.storePair(m.flt.Instance.Machine.Next(m.pairState(), fsm.Wait))
+}
+
+// RunMarch executes the March test on the memory under a concrete order
+// resolution and returns the indices (into the flattened operation list of
+// the test) of the read operations that observed a mismatch on at least one
+// address. The memory is mutated.
+func (m *Memory) RunMarch(t *march.Test, res []march.Order) []int {
+	mismatches := map[int]bool{}
+	opBase := 0
+	for k, e := range t.Elements {
+		if e.Delay {
+			m.Delay()
+			continue
+		}
+		addrs := make([]int, m.Size())
+		for a := range addrs {
+			if res[k] == march.Down {
+				addrs[a] = m.Size() - 1 - a
+			} else {
+				addrs[a] = a
+			}
+		}
+		for _, addr := range addrs {
+			for o, op := range e.Ops {
+				if op.IsWrite() {
+					m.Write(addr, op.Data)
+					continue
+				}
+				got := m.Read(addr)
+				if got.Known() && got != op.Data {
+					mismatches[opBase+o] = true
+				}
+			}
+		}
+		opBase += len(e.Ops)
+	}
+	out := make([]int, 0, len(mismatches))
+	for k := range mismatches {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package march
+
+import "fmt"
+
+// Stats summarises the operation mix of a March test.
+type Stats struct {
+	Reads, Writes int
+	Elements      int
+	Delays        int
+	// UpElements / DownElements / AnyElements count addressing orders.
+	UpElements, DownElements, AnyElements int
+}
+
+// Analyze computes the operation statistics of a test.
+func Analyze(t *Test) Stats {
+	var s Stats
+	for _, e := range t.Elements {
+		if e.Delay {
+			s.Delays++
+			continue
+		}
+		s.Elements++
+		switch e.Order {
+		case Up:
+			s.UpElements++
+		case Down:
+			s.DownElements++
+		default:
+			s.AnyElements++
+		}
+		for _, op := range e.Ops {
+			if op.IsRead() {
+				s.Reads++
+			} else {
+				s.Writes++
+			}
+		}
+	}
+	return s
+}
+
+// Complement returns the data-inverse dual of a test: every operation's
+// data bit is flipped (w0↔w1, r0↔r1). A memory fault model family that is
+// closed under data inversion (as all the built-in models are) is covered
+// by a test if and only if it is covered by the complement.
+func Complement(t *Test) *Test {
+	c := t.Clone()
+	c.Name = suffixName(t.Name, "~")
+	for e := range c.Elements {
+		for o := range c.Elements[e].Ops {
+			c.Elements[e].Ops[o].Data = c.Elements[e].Ops[o].Data.Not()
+		}
+	}
+	return c
+}
+
+// Reverse returns the address-order dual: the element sequence is kept but
+// every ⇑ becomes ⇓ and vice versa (⇕ is self-dual). For fault families
+// closed under aggressor/victim order exchange — again, all the built-in
+// ones — coverage is preserved.
+func Reverse(t *Test) *Test {
+	c := t.Clone()
+	c.Name = suffixName(t.Name, "ᴿ")
+	for e := range c.Elements {
+		switch c.Elements[e].Order {
+		case Up:
+			c.Elements[e].Order = Down
+		case Down:
+			c.Elements[e].Order = Up
+		}
+	}
+	return c
+}
+
+// Concat appends the elements of u after t, yielding a test that applies
+// both in sequence (its coverage is at least the union whenever u starts
+// with its own initialisation).
+func Concat(t, u *Test) *Test {
+	c := t.Clone()
+	c.Name = ""
+	for _, e := range u.Elements {
+		c.Elements = append(c.Elements, Element{
+			Order: e.Order, Delay: e.Delay, Ops: append([]Op(nil), e.Ops...),
+		})
+	}
+	return c
+}
+
+// Canonical normalises a test structurally without changing its trace
+// semantics: delay runs are collapsed to a single Del and empty tests are
+// rejected.
+func Canonical(t *Test) (*Test, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Test{Name: t.Name}
+	for _, e := range t.Elements {
+		if e.Delay {
+			if n := len(c.Elements); n > 0 && c.Elements[n-1].Delay {
+				continue
+			}
+			c.Elements = append(c.Elements, DelayElement())
+			continue
+		}
+		c.Elements = append(c.Elements, Element{Order: e.Order, Ops: append([]Op(nil), e.Ops...)})
+	}
+	// A trailing or leading Del does nothing.
+	for len(c.Elements) > 0 && c.Elements[0].Delay {
+		c.Elements = c.Elements[1:]
+	}
+	for n := len(c.Elements); n > 0 && c.Elements[n-1].Delay; n = len(c.Elements) {
+		c.Elements = c.Elements[:n-1]
+	}
+	if len(c.Elements) == 0 {
+		return nil, fmt.Errorf("march: test %s is all delays", t)
+	}
+	return c, nil
+}
+
+func suffixName(name, suffix string) string {
+	if name == "" {
+		return ""
+	}
+	return name + suffix
+}

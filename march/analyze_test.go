@@ -1,0 +1,148 @@
+package march
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTest builds a structurally valid random March test.
+func randomTest(rng *rand.Rand) *Test {
+	t := &Test{}
+	elems := 1 + rng.Intn(5)
+	// Start with a write-only initialisation so Validate passes.
+	t.Elements = append(t.Elements, Elem(Order(rng.Intn(3)), Op{Write, Bit(rng.Intn(2))}))
+	for k := 1; k < elems; k++ {
+		if rng.Intn(6) == 0 {
+			t.Elements = append(t.Elements, DelayElement())
+			continue
+		}
+		e := Element{Order: Order(rng.Intn(3))}
+		for o := 0; o <= rng.Intn(4); o++ {
+			e.Ops = append(e.Ops, Op{Kind: OpKind(rng.Intn(2)), Data: Bit(rng.Intn(2))})
+		}
+		t.Elements = append(t.Elements, e)
+	}
+	return t
+}
+
+func TestAnalyze(t *testing.T) {
+	mt := MustParse("", "{ ⇕(w0); Del; ⇑(r0,w1); ⇓(r1,w0,r0) }")
+	s := Analyze(mt)
+	if s.Reads != 3 || s.Writes != 3 || s.Elements != 3 || s.Delays != 1 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.UpElements != 1 || s.DownElements != 1 || s.AnyElements != 1 {
+		t.Errorf("order stats %+v", s)
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		mt := randomTest(rng)
+		back := Complement(Complement(mt))
+		if !mt.Equal(back) {
+			t.Fatalf("complement not involutive: %s vs %s", mt, back)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		mt := randomTest(rng)
+		back := Reverse(Reverse(mt))
+		if !mt.Equal(back) {
+			t.Fatalf("reverse not involutive: %s vs %s", mt, back)
+		}
+	}
+}
+
+func TestComplementSwapsData(t *testing.T) {
+	mt := MustParse("X", "{ ⇕(w0); ⇑(r0,w1) }")
+	c := Complement(mt)
+	want := MustParse("", "{ ⇕(w1); ⇑(r1,w0) }")
+	if !c.Equal(want) {
+		t.Errorf("complement %s, want %s", c, want)
+	}
+	if c.Name != "X~" {
+		t.Errorf("complement name %q", c.Name)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustParse("", "{ ⇕(w0); ⇕(r0) }")
+	b := MustParse("", "{ ⇕(w1); ⇕(r1) }")
+	c := Concat(a, b)
+	if c.Complexity() != 4 || len(c.Elements) != 4 {
+		t.Errorf("concat %s", c)
+	}
+	// Concat must not alias the inputs.
+	c.Elements[0].Ops[0] = R1
+	if a.Elements[0].Ops[0] != W0 {
+		t.Error("concat aliases its inputs")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	mt := &Test{Elements: []Element{
+		DelayElement(),
+		Elem(Any, W0),
+		DelayElement(),
+		DelayElement(),
+		Elem(Any, R0),
+		DelayElement(),
+	}}
+	c, err := Canonical(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("", "{ ⇕(w0); Del; ⇕(r0) }")
+	if !c.Equal(want) {
+		t.Errorf("canonical %s, want %s", c, want)
+	}
+	if _, err := Canonical(&Test{Elements: []Element{DelayElement()}}); err == nil {
+		t.Error("all-delay test must fail")
+	}
+}
+
+// Property: parser and printer are inverse on random valid tests.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(uint8) bool {
+		mt := randomTest(rng)
+		back, err := Parse(mt.String())
+		if err != nil {
+			return false
+		}
+		if !back.Equal(mt) {
+			return false
+		}
+		// The ASCII form round-trips too.
+		back2, err := Parse(mt.ASCII())
+		return err == nil && back2.Equal(mt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complexity is invariant under both duals and additive under
+// concatenation.
+func TestQuickComplexityInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(uint8) bool {
+		a, b := randomTest(rng), randomTest(rng)
+		if Complement(a).Complexity() != a.Complexity() {
+			return false
+		}
+		if Reverse(a).Complexity() != a.Complexity() {
+			return false
+		}
+		return Concat(a, b).Complexity() == a.Complexity()+b.Complexity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

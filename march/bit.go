@@ -1,0 +1,60 @@
+package march
+
+import "fmt"
+
+// Bit is a ternary memory value: logic 0, logic 1, or X.
+//
+// X plays two roles in this module, both inherited from the paper's
+// formalism: in finite-state-machine states it is the "–" symbol (the value
+// of a non-initialised memory cell), and in test-pattern initialisation
+// states it is a don't-care (the pattern works for either value).
+type Bit uint8
+
+// The three ternary values. Zero and One are ordinary logic levels; X is
+// the uninitialised/don't-care value.
+const (
+	Zero Bit = 0
+	One  Bit = 1
+	X    Bit = 2
+)
+
+// Not returns the complement of b. The complement of X is X.
+func (b Bit) Not() Bit {
+	switch b {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// Known reports whether b is a concrete logic value (0 or 1).
+func (b Bit) Known() bool { return b == Zero || b == One }
+
+// Matches reports whether b is compatible with c, treating X as a wildcard
+// on either side.
+func (b Bit) Matches(c Bit) bool { return b == X || c == X || b == c }
+
+// String returns "0", "1" or "-" (the paper's symbol for X).
+func (b Bit) String() string {
+	switch b {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "-"
+	default:
+		return fmt.Sprintf("Bit(%d)", uint8(b))
+	}
+}
+
+// BitOf converts a bool to a Bit.
+func BitOf(v bool) Bit {
+	if v {
+		return One
+	}
+	return Zero
+}

@@ -1,0 +1,14 @@
+// Package march models March tests for random-access memories.
+//
+// A March test is a finite sequence of March elements. Each element pairs
+// an addressing order — ascending (⇑), descending (⇓), or irrelevant (⇕) —
+// with a sequence of read-and-verify / write operations that are applied to
+// every memory cell in that order before the test proceeds to the next
+// element. The complexity of a March test is the number of operations
+// applied per cell, conventionally written "kn" (MATS+ is "5n").
+//
+// The package provides the abstract syntax (Test, Element, Op), a parser
+// and printer for the conventional notation, and a library of well-known
+// March tests from the literature (MATS through March G) used by the
+// coverage-audit tooling and by the reproduction of the paper's Table 3.
+package march

@@ -1,0 +1,125 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Order is the addressing order of a March element.
+type Order uint8
+
+const (
+	// Any (⇕) means the element may be applied in either address order;
+	// the test's fault coverage must not depend on the choice.
+	Any Order = iota
+	// Up (⇑) applies the element to the cells in ascending address order.
+	Up
+	// Down (⇓) applies the element in descending address order.
+	Down
+)
+
+// String returns the Unicode arrow for the order (⇕, ⇑ or ⇓).
+func (o Order) String() string {
+	switch o {
+	case Any:
+		return "⇕"
+	case Up:
+		return "⇑"
+	case Down:
+		return "⇓"
+	default:
+		return fmt.Sprintf("Order(%d)", uint8(o))
+	}
+}
+
+// ASCII returns a 7-bit spelling of the order: "any", "up" or "down".
+func (o Order) ASCII() string {
+	switch o {
+	case Any:
+		return "any"
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Order(%d)", uint8(o))
+	}
+}
+
+// Element is one March element: an addressing order and a non-empty
+// sequence of operations performed on each cell before proceeding to the
+// next cell, e.g. ⇑(r0,w1).
+//
+// A Delay element ("Del") models the wait operation T of the paper's input
+// alphabet: the test pauses long enough for data-retention faults to
+// develop. A delay element carries no operations and contributes zero to
+// the test complexity.
+type Element struct {
+	Order Order
+	Ops   []Op
+	Delay bool
+}
+
+// Delay is the delay (wait) element used by data-retention tests.
+func DelayElement() Element { return Element{Delay: true} }
+
+// Elem builds a March element from an order and operations.
+func Elem(order Order, ops ...Op) Element {
+	return Element{Order: order, Ops: ops}
+}
+
+// Complexity returns the number of memory operations the element performs
+// per cell (zero for a delay element).
+func (e Element) Complexity() int {
+	if e.Delay {
+		return 0
+	}
+	return len(e.Ops)
+}
+
+// Validate reports an error for a malformed element (no operations and not
+// a delay, or a delay carrying operations).
+func (e Element) Validate() error {
+	if e.Delay {
+		if len(e.Ops) != 0 {
+			return fmt.Errorf("march: delay element must not carry operations")
+		}
+		return nil
+	}
+	if len(e.Ops) == 0 {
+		return fmt.Errorf("march: element has no operations")
+	}
+	return nil
+}
+
+// Equal reports structural equality of two elements.
+func (e Element) Equal(f Element) bool {
+	if e.Delay != f.Delay || e.Order != f.Order || len(e.Ops) != len(f.Ops) {
+		return false
+	}
+	for i := range e.Ops {
+		if e.Ops[i] != f.Ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the element in conventional notation, e.g. "⇑(r0,w1)" or
+// "Del".
+func (e Element) String() string {
+	if e.Delay {
+		return "Del"
+	}
+	var b strings.Builder
+	b.WriteString(e.Order.String())
+	b.WriteByte('(')
+	for i, op := range e.Ops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(op.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

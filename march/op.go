@@ -1,0 +1,82 @@
+package march
+
+import "fmt"
+
+// OpKind distinguishes the two memory operations that can appear inside a
+// March element.
+type OpKind uint8
+
+const (
+	// Read is a read-and-verify operation: read the addressed cell and
+	// compare the returned value against the expected data bit. In the
+	// paper's notation this is the "rd" (read and verify) operation.
+	Read OpKind = iota
+	// Write stores the data bit into the addressed cell.
+	Write
+)
+
+// String returns "r" or "w".
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is a single March operation: a read-and-verify or a write, together
+// with its data bit. Within a March element the operation is applied to
+// every memory cell in the element's addressing order.
+//
+// For a Read, Data is the value the fault-free memory would return; a
+// mismatch observed during test application flags the memory as faulty.
+type Op struct {
+	Kind OpKind
+	Data Bit
+}
+
+// Convenience constructors for the four March operations.
+var (
+	R0 = Op{Read, Zero}
+	R1 = Op{Read, One}
+	W0 = Op{Write, Zero}
+	W1 = Op{Write, One}
+)
+
+// IsRead reports whether op is a read-and-verify operation.
+func (op Op) IsRead() bool { return op.Kind == Read }
+
+// IsWrite reports whether op is a write operation.
+func (op Op) IsWrite() bool { return op.Kind == Write }
+
+// String returns the conventional notation, e.g. "r0" or "w1".
+func (op Op) String() string { return op.Kind.String() + op.Data.String() }
+
+// ParseOp parses a single operation in conventional notation ("r0", "r1",
+// "w0", "w1"; case-insensitive).
+func ParseOp(s string) (Op, error) {
+	if len(s) != 2 {
+		return Op{}, fmt.Errorf("march: invalid operation %q", s)
+	}
+	var op Op
+	switch s[0] {
+	case 'r', 'R':
+		op.Kind = Read
+	case 'w', 'W':
+		op.Kind = Write
+	default:
+		return Op{}, fmt.Errorf("march: invalid operation kind in %q", s)
+	}
+	switch s[1] {
+	case '0':
+		op.Data = Zero
+	case '1':
+		op.Data = One
+	default:
+		return Op{}, fmt.Errorf("march: invalid data bit in %q", s)
+	}
+	return op, nil
+}

@@ -1,0 +1,95 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a March test in conventional notation. Both the Unicode
+// arrows and an ASCII spelling are accepted, and braces are optional:
+//
+//	{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }
+//	any(w0); up(r0,w1); down(r1,w0)
+//	{ ⇕(w0); Del; ⇕(r0) }
+//
+// Orders: "⇕"/"any"/"a", "⇑"/"up"/"u", "⇓"/"down"/"d" (case-insensitive).
+// "Del" denotes a delay element. Operations are "r0", "r1", "w0", "w1".
+func Parse(s string) (*Test, error) {
+	body := strings.TrimSpace(s)
+	body = strings.TrimPrefix(body, "{")
+	body = strings.TrimSuffix(body, "}")
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil, fmt.Errorf("march: empty test string %q", s)
+	}
+	var t Test
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("march: empty element in %q", s)
+		}
+		elem, err := parseElement(part)
+		if err != nil {
+			return nil, err
+		}
+		t.Elements = append(t.Elements, elem)
+	}
+	return &t, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// package-level declarations of well-known tests.
+func MustParse(name, s string) *Test {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	t.Name = name
+	return t
+}
+
+func parseElement(s string) (Element, error) {
+	if strings.EqualFold(s, "del") {
+		return DelayElement(), nil
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Element{}, fmt.Errorf("march: malformed element %q", s)
+	}
+	order, err := parseOrder(strings.TrimSpace(s[:open]))
+	if err != nil {
+		return Element{}, err
+	}
+	inner := s[open+1 : len(s)-1]
+	var ops []Op
+	for _, tok := range strings.Split(inner, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return Element{}, fmt.Errorf("march: empty operation in element %q", s)
+		}
+		op, err := ParseOp(tok)
+		if err != nil {
+			return Element{}, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return Element{}, fmt.Errorf("march: element %q has no operations", s)
+	}
+	return Element{Order: order, Ops: ops}, nil
+}
+
+func parseOrder(s string) (Order, error) {
+	switch strings.ToLower(s) {
+	case "⇕", "any", "a", "c", "":
+		// The paper writes the don't-care order as "c"; an empty order
+		// (bare parenthesised list) also means "any".
+		return Any, nil
+	case "⇑", "up", "u":
+		return Up, nil
+	case "⇓", "down", "d":
+		return Down, nil
+	default:
+		return Any, fmt.Errorf("march: unknown addressing order %q", s)
+	}
+}

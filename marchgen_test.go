@@ -1,0 +1,230 @@
+package marchgen
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/march"
+)
+
+func TestGenerateQuick(t *testing.T) {
+	res, err := Generate("SAF,TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complexity != 5 {
+		t.Errorf("SAF,TF: %dn, want 5n", res.Complexity)
+	}
+	if res.Stats.Classes != 4 || res.Stats.Elapsed <= 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if len(res.Models) != 2 || len(res.Instances) != 4 {
+		t.Errorf("models/instances: %d/%d", len(res.Models), len(res.Instances))
+	}
+}
+
+func TestGenerateBadList(t *testing.T) {
+	if _, err := Generate("NOPE"); err == nil {
+		t.Error("unknown fault model must fail")
+	}
+	if _, err := Generate(""); err == nil {
+		t.Error("empty list must fail")
+	}
+}
+
+func TestGenerateOptions(t *testing.T) {
+	res, err := Generate("SAF,TF,ADF",
+		WithHeuristicATSP(), WithSelectionLimit(8), WithBeamWidth(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(res.Test, "SAF,TF,ADF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("heuristic options produced incomplete test: %v", rep.Missed)
+	}
+}
+
+func TestGenerateWithoutShrinkStillComplete(t *testing.T) {
+	res, err := Generate("SAF", WithoutShrink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(res.Test, "SAF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Error("WithoutShrink must stay complete")
+	}
+}
+
+func TestGenerateWithoutEquivalence(t *testing.T) {
+	res, err := Generate("CFin", WithoutEquivalence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(res.Test, "CFin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Error("WithoutEquivalence must stay complete")
+	}
+}
+
+func TestVerifyKnownGrid(t *testing.T) {
+	rep, err := VerifyKnown("MarchC-", "SAF,TF,ADF,CFin,CFid,CFst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || !rep.NonRedundant {
+		t.Errorf("March C- verdict: complete=%v nonredundant=%v", rep.Complete, rep.NonRedundant)
+	}
+	if rep.Complexity != 10 {
+		t.Errorf("complexity %d", rep.Complexity)
+	}
+	if len(rep.Instances) != 44 { // 2+2+8+4+8+... SAF2 TF2 ADF8 CFin4 CFid8 CFst8 = 32? counted below
+		// Count precisely instead of hard-coding.
+		models, _ := fault.ParseList("SAF,TF,ADF,CFin,CFid,CFst")
+		want := len(fault.Instances(models))
+		if len(rep.Instances) != want {
+			t.Errorf("instances %d, want %d", len(rep.Instances), want)
+		}
+	}
+}
+
+func TestVerifyIncomplete(t *testing.T) {
+	rep, err := VerifyKnown("MATS", "TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Error("MATS does not cover TF")
+	}
+	if len(rep.Missed) == 0 {
+		t.Error("missed list must name the escaping instances")
+	}
+	for _, m := range rep.Missed {
+		if !strings.HasPrefix(m, "TF") {
+			t.Errorf("unexpected missed instance %q", m)
+		}
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	if _, err := Verify(nil, "SAF"); err == nil {
+		t.Error("nil test must fail")
+	}
+	if _, err := VerifyKnown("NoSuchTest", "SAF"); err == nil {
+		t.Error("unknown test name must fail")
+	}
+	bad := march.New(march.Elem(march.Up, march.R1))
+	if _, err := Verify(bad, "SAF"); err == nil {
+		t.Error("invalid test must fail")
+	}
+}
+
+func TestVerifyNAgrees(t *testing.T) {
+	res, err := Generate("SAF,TF,ADF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoCell, err := Verify(res.Test, "SAF,TF,ADF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCell, err := VerifyN(res.Test, "SAF,TF,ADF", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoCell.Complete != nCell.Complete {
+		t.Errorf("engines disagree: %v vs %v", twoCell.Complete, nCell.Complete)
+	}
+}
+
+func TestGenerateModelsCustom(t *testing.T) {
+	inst, err := fault.FromDeviations("GLITCH", "GLITCH", false,
+		fsm.TransitionDev(fsm.S(march.One, march.X), fsm.Wr(fsm.CellI, march.One), fsm.S(march.Zero, march.X)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fault.Custom("GLITCH", "non-transition w1 flips the cell low", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateModels([]fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyModels(res.Test, []fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("custom model not covered by %s", res.Test)
+	}
+}
+
+// TestConditionedSingleCellFault: a user fault whose excitation only fires
+// when the *other* cell holds a specific value — outside the paper's
+// worked examples but inside its "unconstrained fault list" claim. The
+// rewrite grammar handles it via the pair-style order discipline.
+func TestConditionedSingleCellFault(t *testing.T) {
+	inst, err := fault.FromDeviations("COND", "COND",
+		false,
+		// In state (1,1), w0 on cell i fails — but only while j holds 1.
+		fsm.TransitionDev(fsm.S(march.One, march.One), fsm.Wr(fsm.CellI, march.Zero), fsm.S(march.One, march.X)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fault.Custom("COND", "conditioned transition fault", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateModels([]fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyModels(res.Test, []fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("conditioned fault not covered by %s", res.Test)
+	}
+	if res.Complexity > 5 {
+		t.Errorf("conditioned fault test suspiciously long: %s", res.Test)
+	}
+}
+
+// TestReadCouplingFault: a read on the aggressor disturbs the victim (a
+// CFrd-style user fault); the excitation is a read, which the rewrite
+// grammar realises through the within-element case.
+func TestReadCouplingFault(t *testing.T) {
+	inst, err := fault.FromDeviations("CFRD", "CFRD<0> agg=i",
+		false,
+		fsm.TransitionDev(fsm.S(march.Zero, march.One), fsm.Rd(fsm.CellI), fsm.S(march.X, march.Zero)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fault.Custom("CFRD", "read-disturb coupling", inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GenerateModels([]fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyModels(res.Test, []fault.Model{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("read-coupling fault not covered by %s", res.Test)
+	}
+}

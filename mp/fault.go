@@ -1,0 +1,71 @@
+package mp
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// Kind enumerates the two-port weak fault classes: defects that no
+// single-port operation sequence can excite, because the extra stress of
+// two simultaneous accesses is part of the sensitising condition.
+type Kind uint8
+
+const (
+	// SRDF is the simultaneous read destructive fault: both ports read
+	// the cell holding D in one cycle; the cell flips and both ports
+	// return the flipped value.
+	SRDF Kind = iota
+	// SDRDF is the deceptive variant: the cell flips but the reads still
+	// return D, so only a later read observes the corruption.
+	SDRDF
+	// SIRF is the simultaneous incorrect read fault: both ports return
+	// the complement of D; the cell keeps its value.
+	SIRF
+	// SCFDS is the simultaneous-read disturb coupling fault: a double
+	// read of the aggressor holding D flips the victim cell.
+	SCFDS
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SRDF:
+		return "sRDF"
+	case SDRDF:
+		return "sDRDF"
+	case SIRF:
+		return "sIRF"
+	case SCFDS:
+		return "sCFds"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Instance is one two-port fault hypothesis.
+type Instance struct {
+	Name string
+	Kind Kind
+	// D is the stored value sensitising the fault.
+	D march.Bit
+	// TwoCell marks aggressor/victim faults (SCFDS).
+	TwoCell bool
+}
+
+// Models returns the built-in two-port fault list: every kind for both
+// sensitising values.
+func Models() []Instance {
+	var out []Instance
+	for _, k := range []Kind{SRDF, SDRDF, SIRF, SCFDS} {
+		for _, d := range []march.Bit{march.Zero, march.One} {
+			out = append(out, Instance{
+				Name:    fmt.Sprintf("%s<%s>", k, d),
+				Kind:    k,
+				D:       d,
+				TwoCell: k == SCFDS,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package mp
+
+import (
+	"fmt"
+	"time"
+
+	"marchgen/march"
+)
+
+// Stats reports generator effort.
+type Stats struct {
+	Nodes   int64
+	Elapsed time.Duration
+}
+
+// genState tracks one fault instance's incremental detection state: for a
+// pair fault two walk orderings (aggressor processed before or after the
+// victim) × the initial contents of the involved cells.
+type genState struct {
+	// agg and vic values per (variant, init); single-cell faults use vic
+	// = X and one variant.
+	agg, vic [8]march.Bit
+	det      uint8
+	variants int
+}
+
+func initialGenState(inst Instance) genState {
+	s := genState{}
+	if inst.TwoCell {
+		s.variants = 8 // 2 orderings × 4 initial contents
+		for v := 0; v < 8; v++ {
+			s.agg[v] = march.BitOf(v&1 != 0)
+			s.vic[v] = march.BitOf(v&2 != 0)
+		}
+	} else {
+		s.variants = 2
+		for v := 0; v < 2; v++ {
+			s.agg[v] = march.BitOf(v&1 != 0)
+			s.vic[v] = march.X
+		}
+	}
+	return s
+}
+
+func (s *genState) allDetected() bool {
+	return s.det == 1<<s.variants-1
+}
+
+// applyCell walks the element's cycles over one cell of the fault's pair.
+// curIsAgg selects whether the walked cell is the aggressor.
+func applyCellCycles(inst Instance, cycles []Cycle, entry march.Bit, agg, vic march.Bit, curIsAgg bool) (newAgg, newVic march.Bit, detected bool) {
+	chain := entry
+	cur := vic
+	if curIsAgg {
+		cur = agg
+	}
+	for _, c := range cycles {
+		doubleRead := c.A != nil && c.B != nil && c.A.Op.IsRead() && c.B.Op.IsRead()
+		trigger := doubleRead && curIsAgg && cur == inst.D
+		for _, p := range []*PortOp{c.A, c.B} {
+			if p == nil {
+				continue
+			}
+			if p.Op.IsWrite() {
+				cur = p.Op.Data
+				chain = p.Op.Data
+				continue
+			}
+			out := cur
+			if trigger && (inst.Kind == SRDF || inst.Kind == SIRF) {
+				out = inst.D.Not()
+			}
+			if chain.Known() && out.Known() && out != chain {
+				detected = true
+			}
+		}
+		if trigger {
+			switch inst.Kind {
+			case SRDF, SDRDF:
+				cur = inst.D.Not()
+			case SCFDS:
+				if vic.Known() {
+					vic = vic.Not()
+				}
+			}
+		}
+	}
+	if curIsAgg {
+		return cur, vic, detected
+	}
+	return agg, cur, detected
+}
+
+// applyElement advances the state by one element. For pair faults the
+// variant's placement bit says whether the aggressor sits at the lower
+// address; which cell is walked first then follows from the element's
+// order.
+func applyElement(inst Instance, s genState, entry march.Bit, cycles []Cycle, order march.Order) genState {
+	out := s
+	for v := 0; v < s.variants; v++ {
+		aggFirst := true
+		if inst.TwoCell {
+			aggLower := v&4 == 0
+			aggFirst = aggLower == (order != march.Down)
+		}
+		agg, vic := s.agg[v], s.vic[v]
+		var d1, d2 bool
+		if inst.TwoCell {
+			// The pair's two cells are walked in variant order; every
+			// other cell is healthy and irrelevant.
+			if aggFirst {
+				agg, vic, d1 = applyCellCycles(inst, cycles, entry, agg, vic, true)
+				agg, vic, d2 = applyCellCycles(inst, cycles, entry, agg, vic, false)
+			} else {
+				agg, vic, d1 = applyCellCycles(inst, cycles, entry, agg, vic, false)
+				agg, vic, d2 = applyCellCycles(inst, cycles, entry, agg, vic, true)
+			}
+		} else {
+			agg, vic, d1 = applyCellCycles(inst, cycles, entry, agg, vic, true)
+		}
+		out.agg[v], out.vic[v] = agg, vic
+		if d1 || d2 {
+			out.det |= 1 << v
+		}
+	}
+	return out
+}
+
+// chainEnd computes the element's closing value.
+func chainEnd(entry march.Bit, cycles []Cycle) march.Bit {
+	v := entry
+	for _, c := range cycles {
+		for _, p := range []*PortOp{c.A, c.B} {
+			if p != nil && p.Op.IsWrite() {
+				v = p.Op.Data
+			}
+		}
+	}
+	return v
+}
+
+// cycleOptions enumerates the legal cycle sequences of one element for the
+// generator's catalogue: single-port writes, single-port reads and
+// simultaneous same-cell double reads, all chain-consistent.
+func cycleOptions(entry march.Bit, maxLen int) [][]Cycle {
+	var out [][]Cycle
+	var rec func(chain march.Bit, cycles []Cycle)
+	rec = func(chain march.Bit, cycles []Cycle) {
+		if len(cycles) > 0 {
+			out = append(out, append([]Cycle(nil), cycles...))
+		}
+		if len(cycles) == maxLen {
+			return
+		}
+		if chain.Known() {
+			rec(chain, append(cycles, C1(march.Op{Kind: march.Read, Data: chain})))
+			rec(chain, append(cycles, CRR(chain)))
+		}
+		rec(march.Zero, append(cycles, C1(march.W0)))
+		rec(march.One, append(cycles, C1(march.W1)))
+	}
+	rec(entry, nil)
+	return out
+}
+
+// Generate synthesises a minimal two-port March test detecting every
+// instance, by iterative-deepening search with memoised detection states —
+// the two-port counterpart of the single-port baseline generator, and the
+// starting point the paper's §7 names for extending the TPG pipeline to
+// multi-port memories.
+func Generate(instances []Instance, maxCycles int) (*Test, Stats, error) {
+	start := time.Now()
+	stats := Stats{}
+	for k := 1; k <= maxCycles; k++ {
+		memo := map[string]int{}
+		var path []Element
+		states := make([]genState, len(instances))
+		for i, inst := range instances {
+			states[i] = initialGenState(inst)
+		}
+		var dfs func(entry march.Bit, sts []genState, remaining int) bool
+		key := func(entry march.Bit, sts []genState) string {
+			buf := make([]byte, 0, 1+len(sts)*17)
+			buf = append(buf, byte(entry))
+			for _, s := range sts {
+				for v := 0; v < 8; v++ {
+					buf = append(buf, byte(s.agg[v])*3+byte(s.vic[v]))
+				}
+				buf = append(buf, s.det)
+			}
+			return string(buf)
+		}
+		dfs = func(entry march.Bit, sts []genState, remaining int) bool {
+			stats.Nodes++
+			done := true
+			for i := range sts {
+				if !sts[i].allDetected() {
+					done = false
+					break
+				}
+			}
+			if done {
+				return true
+			}
+			if remaining <= 0 {
+				return false
+			}
+			skey := key(entry, sts)
+			if r, ok := memo[skey]; ok && r >= remaining {
+				return false
+			}
+			for _, cycles := range cycleOptions(entry, remaining) {
+				for _, order := range [2]march.Order{march.Up, march.Down} {
+					next := make([]genState, len(sts))
+					for i, inst := range instances {
+						next[i] = applyElement(inst, sts[i], entry, cycles, order)
+					}
+					path = append(path, Element{Order: order, Cycles: cycles})
+					if dfs(chainEnd(entry, cycles), next, remaining-len(cycles)) {
+						return true
+					}
+					path = path[:len(path)-1]
+				}
+			}
+			memo[skey] = remaining
+			return false
+		}
+		if dfs(march.X, states, k) {
+			stats.Elapsed = time.Since(start)
+			t := &Test{Elements: append([]Element(nil), path...)}
+			return t, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("mp: no two-port test of complexity ≤ %d covers the fault list", maxCycles)
+}

@@ -1,0 +1,201 @@
+package mp
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/march"
+)
+
+func TestNotation(t *testing.T) {
+	test := &Test{Elements: []Element{
+		El(march.Any, C1(march.W0)),
+		El(march.Up, CRR(march.Zero), C1(march.W1)),
+		El(march.Down, CPrev(march.R1, march.One)),
+	}}
+	want := "{ ⇕(w0:n); ⇑(r0:r0,w1:n); ⇓(r1:r1-) }"
+	if got := test.String(); got != want {
+		t.Errorf("notation %q, want %q", got, want)
+	}
+	if test.Complexity() != 4 {
+		t.Errorf("complexity %d, want 4", test.Complexity())
+	}
+	if err := test.Validate(); err != nil {
+		t.Errorf("valid test rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []*Test{
+		{},
+		{Elements: []Element{{Order: march.Up}}},
+		{Elements: []Element{El(march.Up, Cycle{})}},
+		// Same-cell write conflict.
+		{Elements: []Element{El(march.Up, Cycle{
+			A: &PortOp{Op: march.W0}, B: &PortOp{Op: march.W1},
+		})}},
+		// Read racing a write on the same cell.
+		{Elements: []Element{El(march.Up, Cycle{
+			A: &PortOp{Op: march.W0}, B: &PortOp{Op: march.R0},
+		})}},
+		// Port A addressing the previous cell.
+		{Elements: []Element{El(march.Up, Cycle{
+			A: &PortOp{Op: march.R0, Prev: true},
+		})}},
+	}
+	for k, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d must fail: %s", k, c)
+		}
+	}
+}
+
+func TestSingleLift(t *testing.T) {
+	kt, _ := march.Known("MATS+")
+	lifted, err := Single(kt.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lifted.Complexity() != 5 {
+		t.Errorf("lifted complexity %d", lifted.Complexity())
+	}
+	if strings.Contains(lifted.String(), "r0:r0") {
+		t.Error("single-port lift must not contain double reads")
+	}
+}
+
+func TestSimulatorSRDFSemantics(t *testing.T) {
+	inst := Instance{Name: "sRDF<0>", Kind: SRDF, D: march.Zero}
+	mem, err := NewMemory(4, &inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := &Test{Elements: []Element{
+		El(march.Up, C1(march.W0)),
+		El(march.Up, CRR(march.Zero)),
+	}}
+	fails, err := mem.Run(test, []march.Order{march.Up, march.Up})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) == 0 {
+		t.Fatal("simultaneous double read at 0 must fail immediately")
+	}
+	// A single-port read does not trigger the weak fault.
+	mem2, _ := NewMemory(4, &inst, 2, 0)
+	single := &Test{Elements: []Element{
+		El(march.Up, C1(march.W0)),
+		El(march.Up, C1(march.R0), C1(march.R0)),
+	}}
+	fails, err = mem2.Run(single, []march.Order{march.Up, march.Up})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 0 {
+		t.Errorf("sequential reads must not trigger the weak fault: %v", fails)
+	}
+}
+
+func TestSimulatorDeceptiveNeedsSecondRead(t *testing.T) {
+	inst := Instance{Name: "sDRDF<1>", Kind: SDRDF, D: march.One}
+	probe := &Test{Elements: []Element{
+		El(march.Up, C1(march.W1)),
+		El(march.Up, CRR(march.One)),
+	}}
+	ok, err := Detects(probe, inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("deceptive fault must escape without a follow-up read")
+	}
+	probe.Elements = append(probe.Elements, El(march.Any, C1(march.R1)))
+	ok, err = Detects(probe, inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("follow-up read must catch the deceptive fault")
+	}
+}
+
+// TestSinglePortTestsMissWeakFaults: the headline property of two-port
+// faults — no single-port March test detects them.
+func TestSinglePortTestsMissWeakFaults(t *testing.T) {
+	for _, name := range []string{"MATS++", "MarchC-", "MarchB", "MarchG"} {
+		kt, _ := march.Known(name)
+		lifted, err := Single(kt.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range Models() {
+			ok, err := Detects(lifted, inst, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Errorf("single-port %s claims to detect %s", name, inst.Name)
+			}
+		}
+	}
+}
+
+// TestGenerateWeakFaultTest synthesises a minimal two-port test for the
+// full weak-fault list and cross-checks it against the independent n-cell
+// two-port simulator.
+func TestGenerateWeakFaultTest(t *testing.T) {
+	insts := Models()
+	test, stats, err := Generate(insts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatalf("generated test invalid: %v (%s)", err, test)
+	}
+	if stats.Nodes == 0 {
+		t.Error("stats must count nodes")
+	}
+	for _, inst := range insts {
+		ok, err := Detects(test, inst, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("generated %s misses %s", test, inst.Name)
+		}
+	}
+	t.Logf("two-port weak-fault test: %s (%d cycles, %d nodes, %v)",
+		test, test.Complexity(), stats.Nodes, stats.Elapsed)
+}
+
+// TestGenerateMinimality: the iterative deepening guarantees no shorter
+// test exists within the search grammar; spot-check a single fault.
+func TestGenerateMinimality(t *testing.T) {
+	inst := Instance{Name: "sRDF<0>", Kind: SRDF, D: march.Zero}
+	test, _, err := Generate([]Instance{inst}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Complexity() != 2 { // w0 then r0:r0
+		t.Errorf("sRDF<0> optimum %d cycles (%s), want 2", test.Complexity(), test)
+	}
+}
+
+func TestGenerateInfeasibleCap(t *testing.T) {
+	if _, _, err := Generate(Models(), 2); err == nil {
+		t.Error("cap 2 cannot cover the full weak-fault list")
+	}
+}
+
+func TestMemoryErrors(t *testing.T) {
+	if _, err := NewMemory(1, nil, 0, 0); err == nil {
+		t.Error("1-cell memory must fail")
+	}
+	inst := Instance{Kind: SCFDS, D: march.Zero, TwoCell: true}
+	if _, err := NewMemory(4, &inst, 2, 2); err == nil {
+		t.Error("agg == vic must fail")
+	}
+	if _, err := NewMemory(4, &inst, 9, 1); err == nil {
+		t.Error("out-of-range aggressor must fail")
+	}
+}

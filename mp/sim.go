@@ -1,0 +1,224 @@
+package mp
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// Memory is an n-cell two-port RAM with at most one placed fault.
+type Memory struct {
+	cells []march.Bit
+	inst  *Instance
+	// agg and vic are the placed cells (vic used by two-cell kinds).
+	agg, vic int
+}
+
+// NewMemory builds the memory; for a nil instance the memory is fault
+// free. Two-cell instances need distinct agg/vic addresses.
+func NewMemory(n int, inst *Instance, agg, vic int) (*Memory, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mp: memory needs at least 2 cells")
+	}
+	if inst != nil {
+		if agg < 0 || agg >= n {
+			return nil, fmt.Errorf("mp: aggressor %d out of range", agg)
+		}
+		if inst.TwoCell && (vic < 0 || vic >= n || vic == agg) {
+			return nil, fmt.Errorf("mp: victim %d invalid", vic)
+		}
+	}
+	m := &Memory{cells: make([]march.Bit, n), inst: inst, agg: agg, vic: vic}
+	for k := range m.cells {
+		m.cells[k] = march.X
+	}
+	return m, nil
+}
+
+// Size returns the cell count.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// SetCell forces a cell's content (initial-state enumeration).
+func (m *Memory) SetCell(addr int, v march.Bit) { m.cells[addr] = v }
+
+// access is one resolved port action.
+type access struct {
+	addr int
+	op   march.Op
+}
+
+// cycle executes one clock cycle and returns the values each resolved
+// read sensed (indexed like accs).
+func (m *Memory) cycle(accs []access) []march.Bit {
+	outs := make([]march.Bit, len(accs))
+	// Simultaneous same-cell double read?
+	doubleRead := -1
+	if len(accs) == 2 && accs[0].op.IsRead() && accs[1].op.IsRead() && accs[0].addr == accs[1].addr {
+		doubleRead = accs[0].addr
+	}
+	triggered := m.inst != nil && doubleRead == m.agg && m.cells[m.agg] == m.inst.D
+	// Reads sense the pre-cycle state.
+	for k, a := range accs {
+		if !a.op.IsRead() {
+			continue
+		}
+		v := m.cells[a.addr]
+		if triggered && a.addr == m.agg {
+			switch m.inst.Kind {
+			case SRDF, SIRF:
+				v = m.inst.D.Not()
+			}
+		}
+		outs[k] = v
+	}
+	// Writes land after the reads.
+	for _, a := range accs {
+		if a.op.IsWrite() {
+			m.cells[a.addr] = a.op.Data
+		}
+	}
+	// Fault state effects.
+	if triggered {
+		switch m.inst.Kind {
+		case SRDF, SDRDF:
+			m.cells[m.agg] = m.inst.D.Not()
+		case SCFDS:
+			if m.cells[m.vic].Known() {
+				m.cells[m.vic] = m.cells[m.vic].Not()
+			}
+		}
+	}
+	return outs
+}
+
+// Run applies the two-port test under a concrete resolution of its ⇕
+// elements and returns the flattened cycle indices whose reads mismatched.
+func (m *Memory) Run(t *Test, res []march.Order) ([]int, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var fails []int
+	failed := map[int]bool{}
+	base := 0
+	for ek, e := range t.Elements {
+		order := e.Order
+		if len(res) == len(t.Elements) {
+			order = res[ek]
+		}
+		addrs := make([]int, m.Size())
+		for k := range addrs {
+			if order == march.Down {
+				addrs[k] = m.Size() - 1 - k
+			} else {
+				addrs[k] = k
+			}
+		}
+		for pos, addr := range addrs {
+			for ck, c := range e.Cycles {
+				var accs []access
+				var expect []march.Bit
+				add := func(p *PortOp) {
+					if p == nil {
+						return
+					}
+					target := addr
+					if p.Prev {
+						if pos == 0 {
+							return // no previous cell yet
+						}
+						target = addrs[pos-1]
+					}
+					accs = append(accs, access{addr: target, op: p.Op})
+					expect = append(expect, p.Op.Data)
+				}
+				add(c.A)
+				add(c.B)
+				outs := m.cycle(accs)
+				for k, a := range accs {
+					if a.op.IsRead() && outs[k].Known() && outs[k] != expect[k] {
+						failed[base+ck] = true
+					}
+				}
+			}
+		}
+		base += len(e.Cycles)
+	}
+	for k := range failed {
+		fails = append(fails, k)
+	}
+	sortedInts(fails)
+	return fails, nil
+}
+
+func sortedInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Detects reports whether the test guarantees detection of the instance on
+// an n-cell memory: a mismatch for every initial content of the involved
+// cells, every ⇕ resolution, and every placement tried.
+func Detects(t *Test, inst Instance, n int) (bool, error) {
+	resolutions, err := resolutions(t)
+	if err != nil {
+		return false, err
+	}
+	placements := [][2]int{{1, 2}, {n - 2, n - 3}}
+	if !inst.TwoCell {
+		placements = [][2]int{{1, 0}, {n - 2, 0}}
+	}
+	for _, pl := range placements {
+		for initMask := 0; initMask < 4; initMask++ {
+			for _, res := range resolutions {
+				mem, err := NewMemory(n, &inst, pl[0], pl[1])
+				if err != nil {
+					return false, err
+				}
+				mem.SetCell(pl[0], march.BitOf(initMask&1 != 0))
+				if inst.TwoCell {
+					mem.SetCell(pl[1], march.BitOf(initMask&2 != 0))
+				}
+				fails, err := mem.Run(t, res)
+				if err != nil {
+					return false, err
+				}
+				if len(fails) == 0 {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// resolutions expands ⇕ elements to both orders (like the single-port
+// simulator).
+func resolutions(t *Test) ([][]march.Order, error) {
+	var anyIdx []int
+	base := make([]march.Order, len(t.Elements))
+	for k, e := range t.Elements {
+		base[k] = e.Order
+		if e.Order == march.Any {
+			anyIdx = append(anyIdx, k)
+		}
+	}
+	if len(anyIdx) > 12 {
+		return nil, fmt.Errorf("mp: too many ⇕ elements")
+	}
+	var out [][]march.Order
+	for mask := 0; mask < 1<<len(anyIdx); mask++ {
+		res := append([]march.Order(nil), base...)
+		for b, k := range anyIdx {
+			if mask&(1<<b) == 0 {
+				res[k] = march.Up
+			} else {
+				res[k] = march.Down
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

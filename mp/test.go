@@ -1,0 +1,173 @@
+// Package mp prototypes the extension the reproduced paper names as its
+// future work (§7): March tests for multi-port memories. A two-port RAM
+// executes one operation per port per clock cycle; defects invisible to
+// any single-port sequence — "weak" faults — become observable only under
+// simultaneous port activity, e.g. a cell that flips when both ports read
+// it in the same cycle.
+//
+// The package provides two-port March tests (elements of port-operation
+// pairs, with the second port addressing the same or the previous cell of
+// the walk), a catalogue of two-port fault models, an n-cell two-port
+// fault simulator with guaranteed-detection semantics matching the
+// single-port machinery, and a small iterative-deepening generator that
+// synthesises minimal two-port tests — the substrate a full TPG/ATSP
+// treatment of multi-port faults would build on.
+package mp
+
+import (
+	"fmt"
+	"strings"
+
+	"marchgen/march"
+)
+
+// PortOp is one port's action in a cycle.
+type PortOp struct {
+	// Op is the read-and-verify or write performed.
+	Op march.Op
+	// Prev addresses the previous cell of the element's walk instead of
+	// the current one (at the walk's first cell the action is skipped:
+	// there is no previous cell yet).
+	Prev bool
+}
+
+// String renders "r0", "w1", "r0-" (the minus marking the previous-cell
+// addressing).
+func (p PortOp) String() string {
+	s := p.Op.String()
+	if p.Prev {
+		s += "-"
+	}
+	return s
+}
+
+// Cycle is one clock cycle: an action per port (nil = the port idles).
+type Cycle struct {
+	A, B *PortOp
+}
+
+// String renders "r0:r0", "w1:n", "r1:r0-".
+func (c Cycle) String() string {
+	side := func(p *PortOp) string {
+		if p == nil {
+			return "n"
+		}
+		return p.String()
+	}
+	return side(c.A) + ":" + side(c.B)
+}
+
+// Element is a two-port March element.
+type Element struct {
+	Order  march.Order
+	Cycles []Cycle
+}
+
+// String renders "⇑(r0:r0,w1:n)".
+func (e Element) String() string {
+	parts := make([]string, len(e.Cycles))
+	for k, c := range e.Cycles {
+		parts[k] = c.String()
+	}
+	return e.Order.String() + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Test is a two-port March test.
+type Test struct {
+	Name     string
+	Elements []Element
+}
+
+// Complexity counts the clock cycles per cell.
+func (t *Test) Complexity() int {
+	n := 0
+	for _, e := range t.Elements {
+		n += len(e.Cycles)
+	}
+	return n
+}
+
+// String renders the conventional "{ ⇕(w0:n); ⇑(r0:r0,w1:n) }" notation.
+func (t *Test) String() string {
+	parts := make([]string, len(t.Elements))
+	for k, e := range t.Elements {
+		parts[k] = e.String()
+	}
+	return "{ " + strings.Join(parts, "; ") + " }"
+}
+
+// Validate rejects structurally illegal tests: empty tests or elements,
+// same-cycle port conflicts (two writes, or a write racing a read of the
+// same cell), and reads before the first write of the walk.
+func (t *Test) Validate() error {
+	if t == nil || len(t.Elements) == 0 {
+		return fmt.Errorf("mp: empty test")
+	}
+	for _, e := range t.Elements {
+		if len(e.Cycles) == 0 {
+			return fmt.Errorf("mp: empty element in %s", t)
+		}
+		for _, c := range e.Cycles {
+			if c.A == nil && c.B == nil {
+				return fmt.Errorf("mp: fully idle cycle in %s", t)
+			}
+			if c.A != nil && c.B != nil && c.A.Prev == c.B.Prev {
+				// Same-cell simultaneous access: only read+read is legal.
+				if c.A.Op.IsWrite() || c.B.Op.IsWrite() {
+					return fmt.Errorf("mp: same-cell port conflict %s in %s", c, t)
+				}
+			}
+			if c.A != nil && c.A.Prev {
+				return fmt.Errorf("mp: port A must address the current cell (%s)", c)
+			}
+		}
+	}
+	return nil
+}
+
+// Single lifts a single-port March test: every operation runs on port A,
+// port B idles. Two-port weak faults are invisible to such tests — the
+// package tests prove it.
+func Single(t *march.Test) (*Test, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Test{Name: t.Name + " (port A only)"}
+	for _, e := range t.Elements {
+		if e.Delay {
+			continue // retention is a single-port concern
+		}
+		me := Element{Order: e.Order}
+		for _, op := range e.Ops {
+			op := op
+			me.Cycles = append(me.Cycles, Cycle{A: &PortOp{Op: op}})
+		}
+		out.Elements = append(out.Elements, me)
+	}
+	return out, nil
+}
+
+// Helpers for building two-port tests tersely.
+
+// C1 builds a single-port cycle on port A.
+func C1(op march.Op) Cycle { return Cycle{A: &PortOp{Op: op}} }
+
+// CRR builds the simultaneous same-cell double read expecting d.
+func CRR(d march.Bit) Cycle {
+	op := march.Op{Kind: march.Read, Data: d}
+	return Cycle{A: &PortOp{Op: op}, B: &PortOp{Op: op}}
+}
+
+// CPrev builds a cycle with port A acting on the current cell and port B
+// reading the previous cell, expecting dPrev there.
+func CPrev(a march.Op, dPrev march.Bit) Cycle {
+	return Cycle{
+		A: &PortOp{Op: a},
+		B: &PortOp{Op: march.Op{Kind: march.Read, Data: dPrev}, Prev: true},
+	}
+}
+
+// El builds an element.
+func El(order march.Order, cycles ...Cycle) Element {
+	return Element{Order: order, Cycles: cycles}
+}

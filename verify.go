@@ -1,0 +1,142 @@
+package marchgen
+
+import (
+	"fmt"
+
+	"marchgen/fault"
+	"marchgen/internal/cover"
+	"marchgen/internal/sim"
+	"marchgen/march"
+)
+
+// InstanceCoverage is the verdict of a March test on one fault instance.
+type InstanceCoverage struct {
+	// Model and Name identify the instance (e.g. "CFid" / "CFid<u,0> agg=i").
+	Model, Name string
+	// Detected reports guaranteed detection: a read mismatch occurs for
+	// every initial memory content under every ⇕ order resolution.
+	Detected bool
+	// DetectingOps lists flattened operation indices of the test whose
+	// reads individually certify detection.
+	DetectingOps []int
+}
+
+// CoverageReport is the outcome of verifying a March test against a fault
+// list: the coverage verdict per instance plus the paper's Section 6
+// non-redundancy analysis (run only when coverage is complete).
+type CoverageReport struct {
+	Test       *march.Test
+	Complexity int
+	// Complete is true when every fault instance is detected.
+	Complete bool
+	// Missed lists undetected instance names.
+	Missed []string
+	// Instances holds the per-instance verdicts.
+	Instances []InstanceCoverage
+	// NonRedundant is true when every elementary block of the test is
+	// needed (minimum Set Cover uses all blocks) and no operation is
+	// individually removable. Only meaningful when Complete.
+	NonRedundant bool
+	// RedundantReads lists detecting reads outside the minimum cover.
+	RedundantReads []int
+	// RemovableOps lists operations whose individual removal keeps the
+	// test complete.
+	RemovableOps []int
+	// MinCoverBlocks is an optimal choice of elementary blocks (flattened
+	// operation indices of reads).
+	MinCoverBlocks []int
+}
+
+// Verify checks a March test against a comma-separated fault list using
+// the two-cell engine of the fault simulator, and — when coverage is
+// complete — runs the Coverage Matrix / Set Covering non-redundancy
+// analysis.
+func Verify(t *march.Test, faults string) (*CoverageReport, error) {
+	models, err := fault.ParseList(faults)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyModels(t, models)
+}
+
+// VerifyModels is Verify for an already-built fault model list.
+func VerifyModels(t *march.Test, models []fault.Model) (*CoverageReport, error) {
+	if t == nil {
+		return nil, fmt.Errorf("marchgen: nil test")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	instances := fault.Instances(models)
+	cov, err := sim.Evaluate(t, instances)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CoverageReport{
+		Test:       t,
+		Complexity: t.Complexity(),
+		Complete:   cov.Complete(),
+		Missed:     cov.Missed(),
+	}
+	for _, r := range cov.Results {
+		rep.Instances = append(rep.Instances, InstanceCoverage{
+			Model:        r.Instance.Model,
+			Name:         r.Instance.Name,
+			Detected:     r.Detected,
+			DetectingOps: append([]int(nil), r.DetectingOps...),
+		})
+	}
+	if !rep.Complete {
+		return rep, nil
+	}
+	analysis, err := cover.Analyze(t, instances)
+	if err != nil {
+		return nil, err
+	}
+	rep.NonRedundant = analysis.NonRedundant
+	rep.RedundantReads = analysis.RedundantReads
+	rep.RemovableOps = analysis.RemovableOps
+	rep.MinCoverBlocks = analysis.MinCover
+	return rep, nil
+}
+
+// VerifyKnown verifies one of the classic March tests from package march
+// (e.g. "MATS+", "MarchC-") against a fault list.
+func VerifyKnown(name, faults string) (*CoverageReport, error) {
+	kt, ok := march.Known(name)
+	if !ok {
+		return nil, fmt.Errorf("marchgen: unknown March test %q (known: %v)", name, march.KnownNames())
+	}
+	return Verify(kt.Test, faults)
+}
+
+// VerifyN re-validates coverage with the n-cell memory simulator (the
+// paper's validation instrument) instead of the two-cell reduction. It is
+// slower and exists for independent confirmation; the package tests prove
+// both engines agree.
+func VerifyN(t *march.Test, faults string, cells int) (*CoverageReport, error) {
+	models, err := fault.ParseList(faults)
+	if err != nil {
+		return nil, err
+	}
+	instances := fault.Instances(models)
+	cov, err := sim.EvaluateN(t, instances, cells)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CoverageReport{
+		Test:       t,
+		Complexity: t.Complexity(),
+		Complete:   cov.Complete(),
+		Missed:     cov.Missed(),
+	}
+	for _, r := range cov.Results {
+		rep.Instances = append(rep.Instances, InstanceCoverage{
+			Model:        r.Instance.Model,
+			Name:         r.Instance.Name,
+			Detected:     r.Detected,
+			DetectingOps: append([]int(nil), r.DetectingOps...),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,135 @@
+package wom
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// InterWordFault is a coupling fault between the same bit position of two
+// different words — the word-oriented appearance of an ordinary bit-level
+// coupling fault (the two cells sit in the same column of the array).
+// Word-oriented March tests inherit bit-level coverage for these faults
+// with any background, in contrast to the intra-word faults that need
+// separating backgrounds.
+type InterWordFault struct {
+	// AggWord and VicWord are word addresses.
+	AggWord, VicWord int
+	// Bit is the shared bit position.
+	Bit int
+	// Up selects the aggressor transition (0→1 when true).
+	Up bool
+	// To is the value forced onto the victim bit.
+	To march.Bit
+}
+
+// Name renders the fault, e.g. "xwCFid<u,0> w1.b3->w5.b3".
+func (f InterWordFault) Name() string {
+	dir := "d"
+	if f.Up {
+		dir = "u"
+	}
+	return fmt.Sprintf("xwCFid<%s,%s> w%d.b%d->w%d.b%d", dir, f.To, f.AggWord, f.Bit, f.VicWord, f.Bit)
+}
+
+// interMemory is a word memory with an injected inter-word fault.
+type interMemory struct {
+	*Memory
+	f InterWordFault
+}
+
+// newInterMemory builds the faulty memory.
+func newInterMemory(n, w int, f InterWordFault) (*interMemory, error) {
+	if f.AggWord == f.VicWord || f.AggWord < 0 || f.VicWord < 0 || f.AggWord >= n || f.VicWord >= n {
+		return nil, fmt.Errorf("wom: inter-word placement (%d,%d) invalid for %d words", f.AggWord, f.VicWord, n)
+	}
+	if f.Bit < 0 || f.Bit >= w {
+		return nil, fmt.Errorf("wom: bit %d out of range for width %d", f.Bit, w)
+	}
+	mem, err := NewMemory(n, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &interMemory{Memory: mem, f: f}, nil
+}
+
+// writeWord applies the write and the cross-word coupling effect.
+func (m *interMemory) writeWord(addr int, data Background) {
+	from, to := march.One, march.Zero
+	if m.f.Up {
+		from, to = march.Zero, march.One
+	}
+	trigger := addr == m.f.AggWord &&
+		m.words[addr][m.f.Bit] == from && data[m.f.Bit] == to
+	m.WriteWord(addr, data)
+	if trigger {
+		m.words[m.f.VicWord][m.f.Bit] = m.f.To
+	}
+}
+
+// run executes the word test against the inter-word fault.
+func (m *interMemory) run(t *Test) ([]int, error) {
+	if t.Width != m.w {
+		return nil, fmt.Errorf("wom: test width %d vs memory width %d", t.Width, m.w)
+	}
+	var fails []int
+	opIndex := 0
+	for _, bg := range t.Backgrounds {
+		for _, e := range t.Base.Elements {
+			if e.Delay {
+				continue
+			}
+			addrs := make([]int, m.n)
+			for k := range addrs {
+				if e.Order == march.Down {
+					addrs[k] = m.n - 1 - k
+				} else {
+					addrs[k] = k
+				}
+			}
+			for _, addr := range addrs {
+				for o, op := range e.Ops {
+					pattern := bg
+					if op.Data == march.One {
+						pattern = bg.Not()
+					}
+					if op.IsWrite() {
+						m.writeWord(addr, pattern)
+						continue
+					}
+					got := m.ReadWord(addr)
+					for b := range pattern {
+						if got[b].Known() && got[b] != pattern[b] {
+							fails = append(fails, opIndex+o)
+							break
+						}
+					}
+				}
+			}
+			opIndex += len(e.Ops)
+		}
+	}
+	return fails, nil
+}
+
+// DetectsInterWord reports guaranteed detection of an inter-word fault by
+// the word test: a mismatch for every initial content of the two involved
+// bits.
+func DetectsInterWord(t *Test, n, w int, f InterWordFault) (bool, error) {
+	for initMask := 0; initMask < 4; initMask++ {
+		mem, err := newInterMemory(n, w, f)
+		if err != nil {
+			return false, err
+		}
+		mem.words[f.AggWord][f.Bit] = march.BitOf(initMask&1 != 0)
+		mem.words[f.VicWord][f.Bit] = march.BitOf(initMask&2 != 0)
+		fails, err := mem.run(t)
+		if err != nil {
+			return false, err
+		}
+		if len(fails) == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,176 @@
+package wom
+
+import (
+	"fmt"
+
+	"marchgen/march"
+)
+
+// IntraWordFault is a coupling fault between two bit positions of the same
+// word — the fault class that makes data backgrounds necessary, because a
+// word-wide write updates aggressor and victim simultaneously and only a
+// background separating the two positions can excite and observe it.
+type IntraWordFault struct {
+	// Agg and Vic are bit positions within the word.
+	Agg, Vic int
+	// Up selects the aggressor transition (0→1 when true).
+	Up bool
+	// To is the value forced onto the victim bit.
+	To march.Bit
+}
+
+// Name renders the fault conventionally, e.g. "iwCFid<u,0> 3->5".
+func (f IntraWordFault) Name() string {
+	dir := "d"
+	if f.Up {
+		dir = "u"
+	}
+	return fmt.Sprintf("iwCFid<%s,%s> %d->%d", dir, f.To, f.Agg, f.Vic)
+}
+
+// Memory is a word-oriented RAM of n words × w bits with at most one
+// injected intra-word fault (placed in every word, as a manufacturing
+// defect in the cell array column pair would be).
+type Memory struct {
+	n, w  int
+	words [][]march.Bit
+	fault *IntraWordFault
+}
+
+// NewMemory builds an uninitialised word memory.
+func NewMemory(n, w int, fault *IntraWordFault) (*Memory, error) {
+	if n < 2 || w < 2 {
+		return nil, fmt.Errorf("wom: memory needs n ≥ 2 words of w ≥ 2 bits, got %d×%d", n, w)
+	}
+	if fault != nil {
+		if fault.Agg == fault.Vic || fault.Agg < 0 || fault.Vic < 0 || fault.Agg >= w || fault.Vic >= w {
+			return nil, fmt.Errorf("wom: fault bits (%d,%d) out of range for width %d", fault.Agg, fault.Vic, w)
+		}
+	}
+	m := &Memory{n: n, w: w, fault: fault}
+	m.words = make([][]march.Bit, n)
+	for k := range m.words {
+		m.words[k] = make([]march.Bit, w)
+		for b := range m.words[k] {
+			m.words[k][b] = march.X
+		}
+	}
+	return m, nil
+}
+
+// WriteWord stores the data word, applying the intra-word fault: if the
+// aggressor bit performs the sensitising transition, the victim bit is
+// forced afterwards.
+func (m *Memory) WriteWord(addr int, data Background) {
+	old := m.words[addr][0:len(data)]
+	aggTransition := false
+	if m.fault != nil {
+		from, to := march.One, march.Zero
+		if m.fault.Up {
+			from, to = march.Zero, march.One
+		}
+		aggTransition = old[m.fault.Agg] == from && data[m.fault.Agg] == to
+	}
+	copy(m.words[addr], data)
+	if aggTransition {
+		m.words[addr][m.fault.Vic] = m.fault.To
+	}
+}
+
+// ReadWord returns the stored word.
+func (m *Memory) ReadWord(addr int) Background {
+	return append(Background(nil), m.words[addr]...)
+}
+
+// Run applies the word test in the canonical resolution (⇕ ascending) and
+// returns the flattened (background, op) indices whose read-and-verify
+// failed on some word.
+func (m *Memory) Run(t *Test) ([]int, error) {
+	if t.Width != m.w {
+		return nil, fmt.Errorf("wom: test width %d vs memory width %d", t.Width, m.w)
+	}
+	var fails []int
+	opIndex := 0
+	for _, bg := range t.Backgrounds {
+		for _, e := range t.Base.Elements {
+			if e.Delay {
+				continue // no retention modelling at word level
+			}
+			addrs := make([]int, m.n)
+			for k := range addrs {
+				if e.Order == march.Down {
+					addrs[k] = m.n - 1 - k
+				} else {
+					addrs[k] = k
+				}
+			}
+			for _, addr := range addrs {
+				for o, op := range e.Ops {
+					pattern := bg
+					if op.Data == march.One {
+						pattern = bg.Not()
+					}
+					if op.IsWrite() {
+						m.WriteWord(addr, pattern)
+						continue
+					}
+					got := m.ReadWord(addr)
+					for b := range pattern {
+						if got[b].Known() && got[b] != pattern[b] {
+							fails = append(fails, opIndex+o)
+							break
+						}
+					}
+				}
+			}
+			opIndex += len(e.Ops)
+		}
+	}
+	return fails, nil
+}
+
+// Detects reports whether the word test is guaranteed to expose the fault
+// for every initial memory content. Since the fault involves a single word
+// and the test writes whole words before reading them, the four initial
+// combinations of the two involved bits (in every word simultaneously)
+// are exhaustive.
+func Detects(t *Test, n, w int, f IntraWordFault) (bool, error) {
+	for initMask := 0; initMask < 4; initMask++ {
+		mem, err := NewMemory(n, w, &f)
+		if err != nil {
+			return false, err
+		}
+		for addr := 0; addr < n; addr++ {
+			mem.words[addr][f.Agg] = march.BitOf(initMask&1 != 0)
+			mem.words[addr][f.Vic] = march.BitOf(initMask&2 != 0)
+		}
+		fails, err := mem.Run(t)
+		if err != nil {
+			return false, err
+		}
+		if len(fails) == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AllIntraWordCFids enumerates every intra-word idempotent coupling fault
+// of a w-bit word: ordered bit pairs × transition directions × forced
+// values.
+func AllIntraWordCFids(w int) []IntraWordFault {
+	var out []IntraWordFault
+	for a := 0; a < w; a++ {
+		for v := 0; v < w; v++ {
+			if a == v {
+				continue
+			}
+			for _, up := range []bool{true, false} {
+				for _, to := range []march.Bit{march.Zero, march.One} {
+					out = append(out, IntraWordFault{Agg: a, Vic: v, Up: up, To: to})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package wom
+
+import (
+	"testing"
+
+	"marchgen/march"
+)
+
+func base(t *testing.T, name string) *march.Test {
+	t.Helper()
+	kt, ok := march.Known(name)
+	if !ok {
+		t.Fatalf("unknown %s", name)
+	}
+	return kt.Test
+}
+
+func TestStandardBackgrounds(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		bgs, err := StandardBackgrounds(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ⌈log₂w⌉ + 1 backgrounds.
+		wantLen := 1
+		for s := 1; s < w; s *= 2 {
+			wantLen++
+		}
+		if len(bgs) != wantLen {
+			t.Errorf("w=%d: %d backgrounds, want %d", w, len(bgs), wantLen)
+		}
+		// Every distinct bit pair is separated by some background.
+		for a := 0; a < w; a++ {
+			for b := a + 1; b < w; b++ {
+				if !Separates(bgs, a, b) {
+					t.Errorf("w=%d: bits %d,%d never separated", w, a, b)
+				}
+			}
+		}
+	}
+	if _, err := StandardBackgrounds(0); err == nil {
+		t.Error("zero width must fail")
+	}
+}
+
+func TestBackgroundNotAndString(t *testing.T) {
+	bg := Background{march.Zero, march.One, march.Zero}
+	if bg.String() != "010" || bg.Not().String() != "101" {
+		t.Errorf("bg %s, not %s", bg, bg.Not())
+	}
+}
+
+func TestConvert(t *testing.T) {
+	bgs, _ := StandardBackgrounds(8)
+	wt, err := Convert(base(t, "MarchC-"), 8, bgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Complexity() != 10*len(bgs) {
+		t.Errorf("complexity %d", wt.Complexity())
+	}
+	if _, err := Convert(base(t, "MarchC-"), 8, nil); err == nil {
+		t.Error("empty background set must fail")
+	}
+	if _, err := Convert(base(t, "MarchC-"), 4, bgs); err == nil {
+		t.Error("width mismatch must fail")
+	}
+}
+
+func TestWordMemoryBasics(t *testing.T) {
+	mem, err := NewMemory(4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgs, _ := StandardBackgrounds(8)
+	mem.WriteWord(2, bgs[1])
+	got := mem.ReadWord(2)
+	for k := range got {
+		if got[k] != bgs[1][k] {
+			t.Fatalf("read back %s, want %s", Background(got), bgs[1])
+		}
+	}
+	if _, err := NewMemory(1, 8, nil); err == nil {
+		t.Error("too-small memory must fail")
+	}
+	if _, err := NewMemory(4, 8, &IntraWordFault{Agg: 3, Vic: 3}); err == nil {
+		t.Error("self-coupled fault must fail")
+	}
+}
+
+func TestIntraWordFaultSemantics(t *testing.T) {
+	f := &IntraWordFault{Agg: 1, Vic: 5, Up: true, To: march.One}
+	mem, _ := NewMemory(2, 8, f)
+	mem.WriteWord(0, Solid(8)) // agg = 0
+	all1 := Solid(8).Not()
+	pattern := Solid(8)
+	pattern[1] = march.One // raise only the aggressor
+	mem.WriteWord(0, pattern)
+	if got := mem.ReadWord(0); got[5] != march.One {
+		t.Errorf("victim bit not forced: %s", Background(got))
+	}
+	// No transition, no effect.
+	mem.WriteWord(1, all1)
+	mem.WriteWord(1, all1)
+	if got := mem.ReadWord(1); got[5] != march.One {
+		t.Errorf("steady aggressor must not corrupt: %s", Background(got))
+	}
+}
+
+// TestSolidBackgroundMissesIntraWordFaults: with only the solid background
+// the aggressor and victim are always written the same value, so coupling
+// faults forcing the written value escape.
+func TestSolidBackgroundMissesIntraWordFaults(t *testing.T) {
+	const w = 8
+	wt, err := Convert(base(t, "MarchC-"), w, []Background{Solid(w)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes := 0
+	for _, f := range AllIntraWordCFids(w) {
+		ok, err := Detects(wt, 4, w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			escapes++
+		}
+	}
+	if escapes == 0 {
+		t.Error("solid-background word test should miss intra-word coupling faults")
+	}
+}
+
+// TestStandardBackgroundsCoverIntraWordFaults: the ⌈log₂w⌉+1 set restores
+// full intra-word CFid coverage.
+func TestStandardBackgroundsCoverIntraWordFaults(t *testing.T) {
+	const w = 8
+	bgs, _ := StandardBackgrounds(w)
+	wt, err := Convert(base(t, "MarchC-"), w, bgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range AllIntraWordCFids(w) {
+		ok, err := Detects(wt, 4, w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s escapes the standard-background March C-", f.Name())
+		}
+	}
+}
+
+// TestCoverageNeedsSeparation: a fault between two bits never separated by
+// the background set must escape; adding a separating background fixes it.
+func TestCoverageNeedsSeparation(t *testing.T) {
+	const w = 4
+	// Backgrounds 0000 and 0011 never separate bits 0,1 (nor 2,3).
+	bgs := []Background{Solid(w), {march.Zero, march.Zero, march.One, march.One}}
+	wt, err := Convert(base(t, "MarchC-"), w, bgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := IntraWordFault{Agg: 0, Vic: 1, Up: true, To: march.One}
+	ok, err := Detects(wt, 4, w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unseparated bit pair should escape")
+	}
+	bgs = append(bgs, Background{march.Zero, march.One, march.Zero, march.One})
+	wt, err = Convert(base(t, "MarchC-"), w, bgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = Detects(wt, 4, w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("separating background must restore detection")
+	}
+}
+
+// TestInterWordFaultsInheritBitLevelCoverage: coupling faults between
+// words (same bit column) behave exactly like bit-level coupling faults —
+// March C- covers them with any single background, while MATS (which
+// misses bit-level CFid) misses them at word level too.
+func TestInterWordFaultsInheritBitLevelCoverage(t *testing.T) {
+	const n, w = 4, 8
+	solid := []Background{Solid(w)}
+	cminus, err := Convert(base(t, "MarchC-"), w, solid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats, err := Convert(base(t, "MATS"), w, solid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesByMATS := 0
+	for _, up := range []bool{true, false} {
+		for _, to := range []march.Bit{march.Zero, march.One} {
+			for _, pair := range [][2]int{{0, 2}, {2, 0}} {
+				f := InterWordFault{AggWord: pair[0], VicWord: pair[1], Bit: 3, Up: up, To: to}
+				ok, err := DetectsInterWord(cminus, n, w, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Errorf("March C- misses %s", f.Name())
+				}
+				ok, err = DetectsInterWord(mats, n, w, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					missesByMATS++
+				}
+			}
+		}
+	}
+	if missesByMATS == 0 {
+		t.Error("MATS should miss inter-word coupling faults, like its bit-level self")
+	}
+}
+
+func TestInterWordErrors(t *testing.T) {
+	if _, err := newInterMemory(4, 8, InterWordFault{AggWord: 1, VicWord: 1, Bit: 0}); err == nil {
+		t.Error("agg == vic must fail")
+	}
+	if _, err := newInterMemory(4, 8, InterWordFault{AggWord: 0, VicWord: 1, Bit: 9}); err == nil {
+		t.Error("bit out of range must fail")
+	}
+}
