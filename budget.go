@@ -1,0 +1,90 @@
+package marchgen
+
+import (
+	"time"
+
+	"marchgen/internal/budget"
+	"marchgen/internal/core"
+)
+
+// Budget bounds the resources a GenerateCtx run may spend. The zero value
+// is unlimited. All limits are soft: when one runs out mid-run the
+// pipeline degrades — the exact ATSP falls back to the layered heuristics,
+// enumeration and shrinking stop early — and the returned test, still
+// simulator-validated complete, is reported via Stats.Degraded instead of
+// failing. Only when a budget runs out before any valid candidate exists
+// does GenerateCtx fail, with ErrBudgetExhausted.
+//
+// Contrast with a context deadline, which is a hard stop: the run aborts
+// with ErrDeadlineExceeded and no result.
+type Budget struct {
+	// Deadline is the soft deadline; past it the pipeline stops opening
+	// new work and finishes from what it already has.
+	Deadline time.Time
+	// ATSPNodes caps the total search states the exact ATSP solvers may
+	// expand across the run; exhaustion degrades the ordering to the
+	// layered heuristics.
+	ATSPNodes int
+	// Selections caps the BFE equivalence-class selections enumerated.
+	Selections int
+	// Candidates caps the rewrite candidates validated.
+	Candidates int
+}
+
+// WithBudget bounds the run's resources; see Budget for the degradation
+// semantics and Stats.Degraded for how a downgrade is reported.
+func WithBudget(b Budget) Option {
+	return func(o *core.Options) {
+		o.Budget = budget.Budget{
+			Deadline:   b.Deadline,
+			ATSPNodes:  b.ATSPNodes,
+			Selections: b.Selections,
+			Candidates: b.Candidates,
+		}
+	}
+}
+
+// ParseBudget parses the textual budget form used by the CLI -budget
+// flags: a comma-separated list of key=value pairs with integer keys
+// "nodes" (exact-ATSP search states), "selections" and "candidates", and
+// "soft" (a duration such as "500ms", converted to a soft deadline
+// relative to now). The empty string is the unlimited budget.
+func ParseBudget(spec string) (Budget, error) {
+	b, err := budget.ParseSpec(spec)
+	if err != nil {
+		return Budget{}, err
+	}
+	return Budget{
+		Deadline:   b.Deadline,
+		ATSPNodes:  b.ATSPNodes,
+		Selections: b.Selections,
+		Candidates: b.Candidates,
+	}, nil
+}
+
+// The typed error taxonomy of the pipeline. Every error returned by
+// GenerateCtx wraps one of these sentinels (or is a fault-list parse
+// error); match with errors.Is.
+var (
+	// ErrCanceled reports that the caller's context was canceled.
+	ErrCanceled = budget.ErrCanceled
+	// ErrDeadlineExceeded reports that the caller's context deadline
+	// passed before generation finished.
+	ErrDeadlineExceeded = budget.ErrDeadlineExceeded
+	// ErrBudgetExhausted reports that a soft budget ran out before any
+	// valid candidate existed (afterwards, exhaustion degrades instead).
+	ErrBudgetExhausted = budget.ErrBudgetExhausted
+	// ErrUnsupportedFault reports a fault list outside what the pipeline
+	// can realise (unknown model, or patterns beyond the rewrite grammar
+	// and the bounded fallback).
+	ErrUnsupportedFault = budget.ErrUnsupportedFault
+	// ErrInternal reports a recovered internal invariant failure; the
+	// concrete error is an *InternalError carrying stage and stack.
+	ErrInternal = budget.ErrInternal
+)
+
+// InternalError is the boundary form of a recovered internal panic,
+// carrying the pipeline stage and the goroutine stack. Library callers
+// never see a raw panic from GenerateCtx; they see one of these, matching
+// errors.Is(err, ErrInternal).
+type InternalError = budget.InternalError

@@ -4,17 +4,26 @@
 //	marchdiag -known MarchC- -faults SAF,TF,CFid             # print the dictionary
 //	marchdiag -known MarchC- -faults SAF,TF -syndrome 3,6    # who failed ops 3 and 6?
 //	marchdiag -known MarchC- -faults CFid -classes           # ambiguity classes
+//	marchdiag -known MarchC- -faults CFst -timeout 10s -budget soft=2s
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 canceled or
+// -timeout exceeded, 4 the soft budget ran out and the printed
+// dictionary is truncated (instances not yet simulated are omitted).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"marchgen"
 	"marchgen/diag"
 	"marchgen/fault"
+	"marchgen/internal/budget"
 	"marchgen/march"
 )
 
@@ -24,7 +33,25 @@ func main() {
 	faults := flag.String("faults", "SAF,TF", "comma-separated fault list")
 	syndrome := flag.String("syndrome", "", "observed failing operation indices, e.g. 3,6 (empty: print the dictionary)")
 	classes := flag.Bool("classes", false, "print the ambiguity classes")
+	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
+	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the dictionary is truncated instead of aborted")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var soft time.Time
+	if *budgetSpec != "" {
+		b, err := marchgen.ParseBudget(*budgetSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchdiag:", err)
+			os.Exit(budget.ExitUsage)
+		}
+		soft = b.Deadline
+	}
 
 	var test *march.Test
 	if *testStr != "" {
@@ -32,26 +59,29 @@ func main() {
 		test, err = march.Parse(*testStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchdiag:", err)
-			os.Exit(1)
+			os.Exit(budget.ExitFail)
 		}
 	} else {
 		kt, ok := march.Known(*knownName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "marchdiag: unknown test %q (known: %s)\n",
 				*knownName, strings.Join(march.KnownNames(), ", "))
-			os.Exit(1)
+			os.Exit(budget.ExitFail)
 		}
 		test = kt.Test
 	}
 	models, err := fault.ParseList(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
-		os.Exit(1)
+		os.Exit(budget.ExitCode(err))
 	}
-	dict, err := diag.Build(test, models)
+	dict, truncated, err := diag.BuildCtx(ctx, test, models, soft)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
-		os.Exit(1)
+		os.Exit(budget.ExitCode(err))
+	}
+	if truncated {
+		fmt.Fprintln(os.Stderr, "marchdiag: soft budget spent — dictionary is truncated; omitted instances cannot be ruled out")
 	}
 
 	switch {
@@ -61,14 +91,17 @@ func main() {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "marchdiag: bad syndrome entry %q\n", part)
-				os.Exit(1)
+				os.Exit(budget.ExitUsage)
 			}
 			s = append(s, v)
 		}
 		cands := dict.Diagnose(s)
 		if len(cands) == 0 {
 			fmt.Println("no modelled fault is consistent with this syndrome")
-			os.Exit(1)
+			if truncated {
+				os.Exit(budget.ExitDegraded)
+			}
+			os.Exit(budget.ExitFail)
 		}
 		fmt.Printf("syndrome {%s} is consistent with: %s\n", s.Key(), strings.Join(cands, ", "))
 	case *classes:
@@ -78,5 +111,8 @@ func main() {
 		}
 	default:
 		fmt.Print(dict)
+	}
+	if truncated {
+		os.Exit(budget.ExitDegraded)
 	}
 }

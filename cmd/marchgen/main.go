@@ -3,12 +3,18 @@
 //
 //	marchgen -faults SAF,TF,ADF,CFin,CFid
 //	marchgen -faults "CFid<u,0>,CFid<u,1>" -stats -ascii
+//	marchgen -faults SAF,TF -timeout 5s -budget nodes=100000,soft=2s
 //
 // The generated test is validated for complete fault coverage and
 // non-redundancy before being printed.
+//
+// Exit codes: 0 success (optimal result), 1 failure, 2 usage error,
+// 3 canceled or -timeout exceeded, 4 a soft budget ran out and the
+// printed result is validated best-effort rather than proven optimal.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +22,7 @@ import (
 
 	"marchgen"
 	"marchgen/fault"
+	"marchgen/internal/budget"
 )
 
 func main() {
@@ -25,6 +32,8 @@ func main() {
 	ascii := flag.Bool("ascii", false, "print the test in 7-bit notation")
 	heuristic := flag.Bool("heuristic", false, "use the heuristic ATSP solver (faster, possibly suboptimal)")
 	verify := flag.Bool("verify", true, "print the coverage/non-redundancy verdict")
+	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
+	budgetSpec := flag.String("budget", "", "soft resource budget, e.g. nodes=100000,selections=16,candidates=200,soft=2s (exhaustion degrades instead of failing)")
 	flag.Parse()
 
 	if *list {
@@ -32,21 +41,36 @@ func main() {
 			m, err := fault.Parse(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(budget.ExitFail)
 			}
 			fmt.Printf("%-6s %2d instances  %s\n", name, len(m.Instances), m.Description)
 		}
 		return
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var opts []marchgen.Option
 	if *heuristic {
 		opts = append(opts, marchgen.WithHeuristicATSP())
 	}
-	res, err := marchgen.Generate(*faults, opts...)
+	if *budgetSpec != "" {
+		b, err := marchgen.ParseBudget(*budgetSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchgen:", err)
+			os.Exit(budget.ExitUsage)
+		}
+		opts = append(opts, marchgen.WithBudget(b))
+	}
+
+	res, err := marchgen.GenerateCtx(ctx, *faults, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchgen:", err)
-		os.Exit(1)
+		os.Exit(budget.ExitCode(err))
 	}
 	if *ascii {
 		fmt.Printf("%s   (%dn)\n", res.Test.ASCII(), res.Complexity)
@@ -59,18 +83,30 @@ func main() {
 		fmt.Printf("TPG nodes:       %d (optimal visit cost %d)\n", res.Stats.TPGNodes, res.Stats.PathCost)
 		fmt.Printf("candidates:      %d\n", res.Stats.Candidates)
 		fmt.Printf("elapsed:         %s\n", res.Stats.Elapsed)
+		for _, st := range []string{"expand", "atsp", "assemble", "validate", "shrink", "finalize"} {
+			if d, ok := res.Stats.StageElapsed[st]; ok {
+				fmt.Printf("  stage %-9s %s\n", st+":", d)
+			}
+		}
+	}
+	if res.Stats.Degraded {
+		fmt.Fprintf(os.Stderr, "marchgen: budget ran out in stage(s) %s — result is validated complete but not proven minimal\n",
+			strings.Join(res.Stats.DegradedStages, ", "))
 	}
 	if *verify {
-		rep, err := marchgen.Verify(res.Test, *faults)
+		rep, err := marchgen.VerifyCtx(ctx, res.Test, *faults)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchgen: verify:", err)
-			os.Exit(1)
+			os.Exit(budget.ExitCode(err))
 		}
 		fmt.Printf("coverage: complete=%v non-redundant=%v (%d instances)\n",
 			rep.Complete, rep.NonRedundant, len(rep.Instances))
 		if !rep.Complete {
 			fmt.Printf("missed: %s\n", strings.Join(rep.Missed, ", "))
-			os.Exit(1)
+			os.Exit(budget.ExitFail)
 		}
+	}
+	if res.Stats.Degraded {
+		os.Exit(budget.ExitDegraded)
 	}
 }

@@ -6,15 +6,23 @@
 //	marchsim -known MarchC- -faults SAF,TF,ADF,CFin,CFid
 //	marchsim -test '{ any(w0); up(r0,w1); down(r1,w0) }' -faults SAF,TF
 //	marchsim -known MATS+ -faults SAF -cells 16    # n-cell engine
+//	marchsim -known MarchC- -faults SAF -cells 64 -timeout 10s -budget soft=2s
+//
+// Exit codes: 0 success (test complete), 1 failure or incomplete
+// coverage, 2 usage error, 3 canceled or -timeout exceeded, 4 the soft
+// budget ran out and the optional n-cell re-validation was skipped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"marchgen"
+	"marchgen/internal/budget"
 	"marchgen/march"
 )
 
@@ -25,6 +33,8 @@ func main() {
 	faults := flag.String("faults", "SAF", "comma-separated fault list")
 	cells := flag.Int("cells", 0, "also re-validate with the n-cell memory simulator")
 	perInstance := flag.Bool("per-instance", false, "print one line per fault instance")
+	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
+	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the optional n-cell re-validation is skipped")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +45,22 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var soft time.Time
+	if *budgetSpec != "" {
+		b, err := marchgen.ParseBudget(*budgetSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(budget.ExitUsage)
+		}
+		soft = b.Deadline
+	}
+
 	var test *march.Test
 	switch {
 	case *knownName != "":
@@ -42,7 +68,7 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "marchsim: unknown test %q (known: %s)\n",
 				*knownName, strings.Join(march.KnownNames(), ", "))
-			os.Exit(1)
+			os.Exit(budget.ExitFail)
 		}
 		test = kt.Test
 	case *testStr != "":
@@ -50,17 +76,17 @@ func main() {
 		test, err = march.Parse(*testStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(1)
+			os.Exit(budget.ExitFail)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "marchsim: pass -test or -known (or -list)")
-		os.Exit(2)
+		os.Exit(budget.ExitUsage)
 	}
 
-	rep, err := marchgen.Verify(test, *faults)
+	rep, err := marchgen.VerifyCtx(ctx, test, *faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchsim:", err)
-		os.Exit(1)
+		os.Exit(budget.ExitCode(err))
 	}
 	fmt.Printf("test:      %s   (%dn)\n", rep.Test, rep.Complexity)
 	fmt.Printf("faults:    %s (%d instances)\n", *faults, len(rep.Instances))
@@ -86,19 +112,28 @@ func main() {
 			fmt.Printf("  %-28s %-8s detecting reads (op indices): %v\n", inst.Name, verdict, inst.DetectingOps)
 		}
 	}
+	degraded := false
 	if *cells > 0 {
-		nrep, err := marchgen.VerifyN(test, *faults, *cells)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("n-cell engine (%d cells): complete=%v\n", *cells, nrep.Complete)
-		if nrep.Complete != rep.Complete {
-			fmt.Fprintln(os.Stderr, "marchsim: engines disagree — please report a bug")
-			os.Exit(1)
+		if !soft.IsZero() && time.Now().After(soft) {
+			fmt.Fprintf(os.Stderr, "marchsim: soft budget spent — skipping the %d-cell re-validation\n", *cells)
+			degraded = true
+		} else {
+			nrep, err := marchgen.VerifyNCtx(ctx, test, *faults, *cells)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "marchsim:", err)
+				os.Exit(budget.ExitCode(err))
+			}
+			fmt.Printf("n-cell engine (%d cells): complete=%v\n", *cells, nrep.Complete)
+			if nrep.Complete != rep.Complete {
+				fmt.Fprintln(os.Stderr, "marchsim: engines disagree — please report a bug")
+				os.Exit(budget.ExitFail)
+			}
 		}
 	}
 	if !rep.Complete {
-		os.Exit(1)
+		os.Exit(budget.ExitFail)
+	}
+	if degraded {
+		os.Exit(budget.ExitDegraded)
 	}
 }

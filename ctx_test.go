@@ -1,0 +1,138 @@
+package marchgen
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// largeFaults is a fault list heavy enough that an uncancelled run takes
+// well over the acceptance bound, so the cancellation tests below prove
+// the abort is prompt rather than the run being trivially short.
+const largeFaults = "SAF,TF,WDF,RDF,DRDF,IRF,SOF,DRF,CFin,CFid,CFst,ADF,LCF"
+
+func TestGenerateCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := GenerateCtx(ctx, largeFaults)
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Fatalf("canceled run returned a result: %v", res.Test)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled run took %v, want <100ms", elapsed)
+	}
+}
+
+func TestGenerateCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := GenerateCtx(ctx, largeFaults)
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Fatalf("expired run returned a result: %v", res.Test)
+	}
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	// The deadline fires 1ms in; the abort must land well inside the
+	// acceptance bound even counting pipeline check strides.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("expired run took %v, want <100ms", elapsed)
+	}
+}
+
+func TestVerifyCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Generate("SAF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyCtx(ctx, res.Test, largeFaults); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("VerifyCtx err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestGenerateBudgetExhaustedDegrades(t *testing.T) {
+	// One ATSP node is never enough for an exact solve, so every exact
+	// ordering must fall back to the layered heuristics — yet the run
+	// must still deliver a simulator-validated complete test.
+	res, err := GenerateCtx(context.Background(), "SAF,TF,CFin",
+		WithBudget(Budget{ATSPNodes: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded {
+		t.Fatal("Stats.Degraded = false, want true after node-budget exhaustion")
+	}
+	found := false
+	for _, st := range res.Stats.DegradedStages {
+		if st == "atsp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DegradedStages = %v, want to contain %q", res.Stats.DegradedStages, "atsp")
+	}
+	rep, err := Verify(res.Test, "SAF,TF,CFin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("degraded test %v misses %v", res.Test, rep.Missed)
+	}
+}
+
+func TestGenerateSoftDeadlineDegrades(t *testing.T) {
+	// An already-expired soft deadline degrades wherever the pipeline
+	// checks it but must not abort: a validated test still comes back.
+	res, err := GenerateCtx(context.Background(), "SAF,TF",
+		WithBudget(Budget{Deadline: time.Now().Add(-time.Second)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded {
+		t.Fatal("Stats.Degraded = false, want true with an expired soft deadline")
+	}
+	rep, err := Verify(res.Test, "SAF,TF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("degraded test %v misses %v", res.Test, rep.Missed)
+	}
+}
+
+func TestUnsupportedFaultTyped(t *testing.T) {
+	_, err := Generate("NOPE")
+	if !errors.Is(err, ErrUnsupportedFault) {
+		t.Fatalf("err = %v, want ErrUnsupportedFault", err)
+	}
+	if !strings.Contains(err.Error(), "NOPE") {
+		t.Fatalf("err %q does not name the offending model", err)
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	b, err := ParseBudget("nodes=100,selections=4,candidates=7,soft=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ATSPNodes != 100 || b.Selections != 4 || b.Candidates != 7 {
+		t.Fatalf("ParseBudget = %+v", b)
+	}
+	if b.Deadline.Before(time.Now().Add(50 * time.Minute)) {
+		t.Fatalf("soft deadline %v not ~1h out", b.Deadline)
+	}
+	if _, err := ParseBudget("nodes=banana"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -16,12 +16,15 @@
 package diag
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"marchgen/fault"
+	"marchgen/internal/budget"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -66,12 +69,23 @@ type Dictionary struct {
 
 // Build computes the fault dictionary of a March test for a fault list.
 func Build(t *march.Test, models []fault.Model) (*Dictionary, error) {
+	d, _, err := BuildCtx(context.Background(), t, models, time.Time{})
+	return d, err
+}
+
+// BuildCtx is Build with cancellation and an optional soft deadline.
+// Cancelling ctx aborts the per-instance simulation with a typed error
+// (budget.ErrCanceled / budget.ErrDeadlineExceeded). Once a non-zero soft
+// deadline passes, instances not yet simulated are omitted and
+// truncated=true is returned: the partial dictionary still diagnoses the
+// instances it covers, it just cannot rule out the omitted ones.
+func BuildCtx(ctx context.Context, t *march.Test, models []fault.Model, soft time.Time) (*Dictionary, bool, error) {
 	if err := sim.SelfConsistent(t); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	resolutions, err := sim.Resolutions(t)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	d := &Dictionary{
 		Test:       t,
@@ -80,10 +94,18 @@ func Build(t *march.Test, models []fault.Model) (*Dictionary, error) {
 		bySyndrome: map[string][]string{},
 	}
 	d.add(GoodName, Syndrome(nil))
+	truncated := false
 	for _, inst := range fault.Instances(models) {
+		if err := budget.CtxErr(ctx); err != nil {
+			return nil, false, err
+		}
+		if !soft.IsZero() && time.Now().After(soft) {
+			truncated = true
+			break
+		}
 		runs, err := sim.Runs(t, inst)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		for _, run := range runs {
 			if !sameResolution(run.Resolution, d.resolution) {
@@ -92,7 +114,7 @@ func Build(t *march.Test, models []fault.Model) (*Dictionary, error) {
 			d.add(inst.Name, Syndrome(run.MismatchOps))
 		}
 	}
-	return d, nil
+	return d, truncated, nil
 }
 
 func sameResolution(a, b []march.Order) bool {

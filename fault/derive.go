@@ -119,13 +119,3 @@ func FromDeviations(model, name string, conjunctive bool, devs ...fsm.Deviation)
 	}
 	return inst, nil
 }
-
-// mustFromDeviations is FromDeviations for the package-internal library,
-// where a failure is a programming error.
-func mustFromDeviations(model, name string, conjunctive bool, devs ...fsm.Deviation) Instance {
-	inst, err := FromDeviations(model, name, conjunctive, devs...)
-	if err != nil {
-		panic(err)
-	}
-	return inst
-}

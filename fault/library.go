@@ -18,6 +18,27 @@ var (
 
 func st(i, j march.Bit) fsm.State { return fsm.S(i, j) }
 
+// must unwraps an instance-constructor result for the built-in library
+// definitions in this file. The builders run once, when a model is
+// first looked up, and operate only on the fixed definitions below —
+// never on user input — so a failure is a defect in the library itself
+// and panicking is intentional; every model is exercised by the package
+// tests, which turn such a panic into an immediate failure. Everything
+// user-reachable (Parse, ParseList, FromDeviations,
+// FromLinkedDeviations) returns errors instead.
+func must(inst Instance, err error) Instance {
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// mustFromDeviations is must(FromDeviations(...)), the common shape of
+// the library definitions below.
+func mustFromDeviations(model, name string, conjunctive bool, devs ...fsm.Deviation) Instance {
+	return must(FromDeviations(model, name, conjunctive, devs...))
+}
+
 // dirString renders a transition direction for fault names: "u" for a
 // rising (0→1) aggressor write, "d" for a falling one.
 func dirString(up bool) string {
@@ -251,9 +272,9 @@ func af() Model {
 			Reads:  [2][]fsm.Cell{nil, {cj}},
 			Float:  f,
 		}
-		insts = append(insts, afInstance(m, []fsm.Pattern{
+		insts = append(insts, must(afInstance(m, []fsm.Pattern{
 			fsm.NewPattern(st(f.Not(), bx), nil, fsm.Rd(ci)),
-		}))
+		})))
 	}
 
 	// Type B/C: an address accesses the wrong cell (and the displaced
@@ -263,19 +284,19 @@ func af() Model {
 		Writes: [2][]fsm.Cell{{cj}, {cj}},
 		Reads:  [2][]fsm.Cell{{cj}, {cj}},
 	}
-	insts = append(insts, afInstance(bij, []fsm.Pattern{
+	insts = append(insts, must(afInstance(bij, []fsm.Pattern{
 		fsm.NewPattern(st(b0, bx), []fsm.Input{fsm.Wr(cj, b1)}, fsm.Rd(ci)),
 		fsm.NewPattern(st(b1, bx), []fsm.Input{fsm.Wr(cj, b0)}, fsm.Rd(ci)),
-	}))
+	})))
 	bji := fsm.AccessMap{
 		Name:   "AF-B<j->i>",
 		Writes: [2][]fsm.Cell{{ci}, {ci}},
 		Reads:  [2][]fsm.Cell{{ci}, {ci}},
 	}
-	insts = append(insts, afInstance(bji, []fsm.Pattern{
+	insts = append(insts, must(afInstance(bji, []fsm.Pattern{
 		fsm.NewPattern(st(bx, b0), []fsm.Input{fsm.Wr(ci, b1)}, fsm.Rd(cj)),
 		fsm.NewPattern(st(bx, b1), []fsm.Input{fsm.Wr(ci, b0)}, fsm.Rd(cj)),
-	}))
+	})))
 
 	// Type D: an address accesses its own cell plus another one.
 	for _, comb := range []fsm.Comb{fsm.CombOr, fsm.CombAnd} {
@@ -289,20 +310,20 @@ func af() Model {
 			Reads:  [2][]fsm.Cell{{ci, cj}, {cj}},
 			Comb:   comb,
 		}
-		insts = append(insts, afInstance(dij, []fsm.Pattern{
+		insts = append(insts, must(afInstance(dij, []fsm.Pattern{
 			fsm.NewPattern(st(bx, d.Not()), []fsm.Input{fsm.Wr(ci, d)}, fsm.Rd(cj)),
 			fsm.NewPattern(st(d.Not(), d), nil, fsm.Rd(ci)),
-		}))
+		})))
 		dji := fsm.AccessMap{
 			Name:   fmt.Sprintf("AF-D<j->ij,%s>", comb),
 			Writes: [2][]fsm.Cell{{ci}, {ci, cj}},
 			Reads:  [2][]fsm.Cell{{ci}, {ci, cj}},
 			Comb:   comb,
 		}
-		insts = append(insts, afInstance(dji, []fsm.Pattern{
+		insts = append(insts, must(afInstance(dji, []fsm.Pattern{
 			fsm.NewPattern(st(d.Not(), bx), []fsm.Input{fsm.Wr(cj, d)}, fsm.Rd(ci)),
 			fsm.NewPattern(st(bx, d.Not()), []fsm.Input{fsm.Wr(ci, d)}, fsm.Rd(cj)),
-		}))
+		})))
 	}
 
 	return Model{
@@ -313,9 +334,9 @@ func af() Model {
 }
 
 // afInstance assembles an address-fault instance from its access map and
-// hand-derived patterns, panicking if a pattern fails to detect the
-// machine (a library programming error, exercised by the package tests).
-func afInstance(m fsm.AccessMap, patterns []fsm.Pattern) Instance {
+// hand-derived patterns; a pattern failing to detect the machine is a
+// library programming error, surfaced through must at the call sites.
+func afInstance(m fsm.AccessMap, patterns []fsm.Pattern) (Instance, error) {
 	inst := Instance{Model: "ADF", Name: m.Name, Machine: m.Machine()}
 	for k, p := range patterns {
 		inst.BFEs = append(inst.BFEs, BFE{
@@ -324,7 +345,7 @@ func afInstance(m fsm.AccessMap, patterns []fsm.Pattern) Instance {
 		})
 	}
 	if err := inst.Validate(); err != nil {
-		panic(err)
+		return Instance{}, err
 	}
-	return inst
+	return inst, nil
 }

@@ -57,7 +57,13 @@ func FromLinkedDeviations(model, name string, devs ...fsm.Deviation) (Instance, 
 // aggressor transitions, ⟨↑;d₁⟩ ∧ ⟨↓;d₂⟩. When d₁ = complement of d₂ the
 // pair is the hardest case of van de Goor's linked-fault taxonomy: a test
 // that excites both transitions back-to-back observes nothing.
-func lcf() Model {
+//
+// Unlike the unlinked library builders, lcf returns an error rather than
+// panicking: whether masking defeats every pattern of a linked pair is a
+// property of the combined machine, decided by product-machine
+// simulation inside FromLinkedDeviations, not by inspection of the
+// definitions here.
+func lcf() (Model, error) {
 	var insts []Instance
 	for _, d1 := range []march.Bit{b0, b1} {
 		for _, d2 := range []march.Bit{b0, b1} {
@@ -72,7 +78,7 @@ func lcf() Model {
 					st(bx, bx).With(vic, d2))
 				inst, err := FromLinkedDeviations("LCF", name, up, down)
 				if err != nil {
-					panic(err)
+					return Model{}, err
 				}
 				insts = append(insts, inst)
 			}
@@ -82,5 +88,5 @@ func lcf() Model {
 		Name:        "LCF",
 		Description: "linked idempotent coupling faults ⟨↑;d₁⟩ ∧ ⟨↓;d₂⟩: same aggressor/victim pair, potentially masking",
 		Instances:   insts,
-	}
+	}, nil
 }

@@ -5,25 +5,34 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"marchgen/internal/budget"
 )
 
 // builders maps canonical model names to their constructors. Models are
 // built lazily and cached: construction validates every instance, which
-// involves product-machine simulation.
-var builders = map[string]func() Model{
-	"SAF":  saf,
-	"TF":   tf,
-	"WDF":  wdf,
-	"RDF":  rdf,
-	"DRDF": drdf,
-	"IRF":  irf,
-	"SOF":  sof,
-	"DRF":  drf,
-	"CFIN": cfin,
-	"CFID": cfid,
-	"CFST": cfst,
-	"ADF":  af,
+// involves product-machine simulation. A builder error surfaces from
+// Parse wrapped in budget.ErrUnsupportedFault.
+var builders = map[string]func() (Model, error){
+	"SAF":  infallible(saf),
+	"TF":   infallible(tf),
+	"WDF":  infallible(wdf),
+	"RDF":  infallible(rdf),
+	"DRDF": infallible(drdf),
+	"IRF":  infallible(irf),
+	"SOF":  infallible(sof),
+	"DRF":  infallible(drf),
+	"CFIN": infallible(cfin),
+	"CFID": infallible(cfid),
+	"CFST": infallible(cfst),
+	"ADF":  infallible(af),
 	"LCF":  lcf,
+}
+
+// infallible adapts a library builder whose definitions are fixed and
+// fully checked by the package tests, so it cannot fail at runtime.
+func infallible(build func() Model) func() (Model, error) {
+	return func() (Model, error) { return build(), nil }
 }
 
 // aliases maps accepted spellings to canonical names.
@@ -66,20 +75,25 @@ func canonicalSpelling(upper string) string {
 	}
 }
 
-// lookup returns the cached full model for a canonical name.
-func lookup(canonical string) (Model, bool) {
+// lookup returns the cached full model for a canonical name. The
+// boolean reports whether the name exists; a non-nil error means the
+// name exists but its builder failed.
+func lookup(canonical string) (Model, bool, error) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if m, ok := cache[canonical]; ok {
-		return m, true
+		return m, true, nil
 	}
 	build, ok := builders[canonical]
 	if !ok {
-		return Model{}, false
+		return Model{}, false, nil
 	}
-	m := build()
+	m, err := build()
+	if err != nil {
+		return Model{}, true, err
+	}
 	cache[canonical] = m
-	return m, true
+	return m, true, nil
 }
 
 // Parse resolves a fault-model name into a Model. Beyond the plain model
@@ -110,10 +124,14 @@ func Parse(name string) (Model, error) {
 	case "SA1":
 		canonical, variant = "SAF", ""
 	}
-	m, ok := lookup(canonical)
+	m, ok, err := lookup(canonical)
+	if err != nil {
+		return Model{}, fmt.Errorf("fault: building fault model %q: %v: %w",
+			name, err, budget.ErrUnsupportedFault)
+	}
 	if !ok {
-		return Model{}, fmt.Errorf("fault: unknown fault model %q (known: %s)",
-			name, strings.Join(ModelNames(), ", "))
+		return Model{}, fmt.Errorf("fault: unknown fault model %q (known: %s): %w",
+			name, strings.Join(ModelNames(), ", "), budget.ErrUnsupportedFault)
 	}
 	filter := ""
 	switch strings.ToUpper(base) {
@@ -137,7 +155,7 @@ func Parse(name string) (Model, error) {
 		}
 	}
 	if len(sub.Instances) == 0 {
-		return Model{}, fmt.Errorf("fault: fault model %q selects no instances", name)
+		return Model{}, fmt.Errorf("fault: fault model %q selects no instances: %w", name, budget.ErrUnsupportedFault)
 	}
 	return sub, nil
 }

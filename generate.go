@@ -1,9 +1,12 @@
 package marchgen
 
 import (
+	"context"
+	"runtime/debug"
 	"time"
 
 	"marchgen/fault"
+	"marchgen/internal/budget"
 	"marchgen/internal/core"
 	"marchgen/internal/gts"
 	"marchgen/march"
@@ -56,6 +59,20 @@ type Stats struct {
 	PathCost int
 	// Candidates is the number of rewrite candidates examined.
 	Candidates int
+	// Degraded reports that a soft budget (see WithBudget) ran out
+	// mid-run and the pipeline downgraded somewhere: the test is still
+	// simulator-validated complete for the fault list, but no longer
+	// proven minimal.
+	Degraded bool
+	// DegradedStages names the stages that downgraded, in order:
+	// "select" (selection enumeration cut short), "atsp" (exact ordering
+	// fell back to heuristics), "assemble" (candidate validation cut
+	// short), "shrink" (redundancy elimination stopped early),
+	// "fallback" (the bounded fallback search ran out of budget).
+	DegradedStages []string
+	// StageElapsed is the wall-clock time per pipeline stage: "expand",
+	// "atsp", "assemble", "validate", "shrink", "finalize".
+	StageElapsed map[string]time.Duration
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
 }
@@ -79,36 +96,62 @@ type Result struct {
 // fault list, e.g. "SAF,TF,ADF" or "CFid<u,0>,CFin" (see package fault for
 // the model names).
 func Generate(faults string, opts ...Option) (*Result, error) {
+	return GenerateCtx(context.Background(), faults, opts...)
+}
+
+// GenerateCtx is Generate under a cancellation context. Cancelling ctx (or
+// passing its deadline) aborts generation promptly with ErrCanceled or
+// ErrDeadlineExceeded. Combine with WithBudget for soft resource limits
+// that degrade the result instead of aborting; a downgrade is reported in
+// Stats.Degraded / Stats.DegradedStages.
+func GenerateCtx(ctx context.Context, faults string, opts ...Option) (*Result, error) {
 	models, err := fault.ParseList(faults)
 	if err != nil {
 		return nil, err
 	}
-	return GenerateModels(models, opts...)
+	return GenerateModelsCtx(ctx, models, opts...)
 }
 
 // GenerateModels is Generate for an already-built fault model list — in
 // particular one containing user-defined models from fault.Custom.
 func GenerateModels(models []fault.Model, opts ...Option) (*Result, error) {
+	return GenerateModelsCtx(context.Background(), models, opts...)
+}
+
+// GenerateModelsCtx is GenerateModels under a cancellation context; see
+// GenerateCtx. It is also the library's panic boundary: an internal
+// invariant failure anywhere in the pipeline surfaces as an
+// *InternalError (matching errors.Is(err, ErrInternal)) carrying the
+// stage name and stack, never as a raw panic.
+func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &budget.InternalError{Stage: "generate", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	options := core.DefaultOptions()
 	for _, opt := range opts {
 		opt(&options)
 	}
-	res, err := core.Generate(models, options)
+	cres, err := core.GenerateCtx(ctx, models, options)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Test:       res.Test,
-		Complexity: res.Complexity,
+		Test:       cres.Test,
+		Complexity: cres.Complexity,
 		Models:     models,
-		Instances:  res.Instances,
+		Instances:  cres.Instances,
 		Stats: Stats{
-			Classes:    res.Classes,
-			Selections: res.Selections,
-			TPGNodes:   res.Nodes,
-			PathCost:   res.PathCost,
-			Candidates: res.Candidates,
-			Elapsed:    res.Elapsed,
+			Classes:        cres.Classes,
+			Selections:     cres.Selections,
+			TPGNodes:       cres.Nodes,
+			PathCost:       cres.PathCost,
+			Candidates:     cres.Candidates,
+			Degraded:       cres.Degraded,
+			DegradedStages: cres.DegradedStages,
+			StageElapsed:   cres.StageElapsed,
+			Elapsed:        cres.Elapsed,
 		},
 	}, nil
 }

@@ -1,6 +1,10 @@
 package atsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"marchgen/internal/budget"
+)
 
 // BranchBound solves the cyclic ATSP exactly by depth-first branch and
 // bound over the assignment-problem relaxation, in the style of Carpaneto,
@@ -10,6 +14,13 @@ import "fmt"
 // excluding one arc per child (with the preceding arcs of the subtour
 // forced excluded-complement via inclusion, the classic CDT scheme).
 func BranchBound(m Matrix) ([]int, int, error) {
+	return BranchBoundMeter(nil, m)
+}
+
+// BranchBoundMeter is BranchBound under a budget meter: every search node
+// charges the meter, so the solve aborts with a typed error on context
+// cancellation or ATSP node-budget exhaustion (nil meter: unbounded).
+func BranchBoundMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if err := m.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -28,8 +39,16 @@ func BranchBound(m Matrix) ([]int, int, error) {
 		best, bestCost = tour, cost
 	}
 
+	var searchErr error
 	var search func(w Matrix)
 	search = func(w Matrix) {
+		if searchErr != nil {
+			return
+		}
+		if err := mt.Node(); err != nil {
+			searchErr = err
+			return
+		}
 		rowToCol, lb := assignment(w)
 		if lb >= bestCost || lb >= Inf {
 			return
@@ -67,6 +86,9 @@ func BranchBound(m Matrix) ([]int, int, error) {
 		}
 	}
 	search(work)
+	if searchErr != nil {
+		return nil, 0, searchErr
+	}
 	if best == nil {
 		return nil, 0, fmt.Errorf("atsp: no feasible tour")
 	}
@@ -99,8 +121,13 @@ func shortestSubtour(rowToCol []int) []int {
 // bound beyond, cross-checking nothing at runtime (the test suite asserts
 // both agree).
 func SolveExact(m Matrix) ([]int, int, error) {
+	return SolveExactMeter(nil, m)
+}
+
+// SolveExactMeter is SolveExact under a budget meter.
+func SolveExactMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if len(m) <= 13 {
-		return HeldKarp(m)
+		return HeldKarpMeter(mt, m)
 	}
-	return BranchBound(m)
+	return BranchBoundMeter(mt, m)
 }

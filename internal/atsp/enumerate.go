@@ -1,6 +1,10 @@
 package atsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"marchgen/internal/budget"
+)
 
 // OptimalPaths enumerates open paths of exactly the optimal cost (the same
 // objective as Path with exact=true): different optimal visits can fold
@@ -9,10 +13,18 @@ import "fmt"
 // capped at a fixed node budget as a safety valve (the instances produced
 // by Test Pattern Graphs are small).
 func OptimalPaths(m Matrix, startCost []int, limit int) ([][]int, int, error) {
+	return OptimalPathsMeter(nil, m, startCost, limit)
+}
+
+// OptimalPathsMeter is OptimalPaths under a budget meter: both the exact
+// solve establishing the optimum and the enumeration charge the meter per
+// search node, so the call aborts with a typed error on cancellation or
+// node-budget exhaustion (nil meter: only the built-in safety valve).
+func OptimalPathsMeter(mt *budget.Meter, m Matrix, startCost []int, limit int) ([][]int, int, error) {
 	if limit <= 0 {
 		limit = 16
 	}
-	_, best, err := Path(m, startCost, true)
+	_, best, err := PathMeter(mt, m, startCost, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -36,9 +48,14 @@ func OptimalPaths(m Matrix, startCost []int, limit int) ([][]int, int, error) {
 	cur := make([]int, 0, n)
 	const nodeBudget = 500000
 	nodes := 0
+	var recErr error
 	var rec func(cost int)
 	rec = func(cost int) {
-		if len(paths) >= limit || nodes > nodeBudget {
+		if recErr != nil || len(paths) >= limit || nodes > nodeBudget {
+			return
+		}
+		if err := mt.Node(); err != nil {
+			recErr = err
 			return
 		}
 		nodes++
@@ -98,6 +115,9 @@ func OptimalPaths(m Matrix, startCost []int, limit int) ([][]int, int, error) {
 		}
 	}
 	rec(0)
+	if recErr != nil {
+		return nil, 0, recErr
+	}
 	if len(paths) == 0 {
 		return nil, 0, fmt.Errorf("atsp: internal error: no path re-achieves the optimal cost %d", best)
 	}

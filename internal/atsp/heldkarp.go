@@ -1,6 +1,10 @@
 package atsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"marchgen/internal/budget"
+)
 
 // heldKarpLimit bounds the O(n²·2ⁿ) dynamic program.
 const heldKarpLimit = 20
@@ -9,6 +13,13 @@ const heldKarpLimit = 20
 // program. It is practical up to heldKarpLimit nodes and serves as the
 // independent reference for the branch-and-bound solver.
 func HeldKarp(m Matrix) ([]int, int, error) {
+	return HeldKarpMeter(nil, m)
+}
+
+// HeldKarpMeter is HeldKarp under a budget meter: every expanded DP state
+// (mask, v) charges the meter, so the solve aborts with a typed error on
+// context cancellation or node-budget exhaustion (nil meter: unbounded).
+func HeldKarpMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if err := m.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -40,6 +51,9 @@ func HeldKarp(m Matrix) ([]int, int, error) {
 		for v := 0; v < n; v++ {
 			if mask&(1<<v) == 0 || dp[mask][v] >= int32(Inf)*4 {
 				continue
+			}
+			if err := mt.Node(); err != nil {
+				return nil, 0, err
 			}
 			for w := 1; w < n; w++ {
 				if mask&(1<<w) != 0 {

@@ -1,6 +1,10 @@
 package atsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"marchgen/internal/budget"
+)
 
 // Path finds a minimum-cost open path visiting every node exactly once —
 // the shape of a Global Test Sequence, whose first and last patterns need
@@ -14,7 +18,18 @@ import "fmt"
 // branch and bound); otherwise the layered heuristics provide a fast
 // near-optimal path.
 func Path(m Matrix, startCost []int, exact bool) ([]int, int, error) {
+	return PathMeter(nil, m, startCost, exact)
+}
+
+// PathMeter is Path under a budget meter: the exact reduction charges the
+// meter per search node and aborts with a typed error on cancellation or
+// node-budget exhaustion. The heuristic mode only probes for cancellation
+// (it is the degradation target, so it must not consume the node budget).
+func PathMeter(mt *budget.Meter, m Matrix, startCost []int, exact bool) ([]int, int, error) {
 	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := mt.CheckNow(); err != nil {
 		return nil, 0, err
 	}
 	n := len(m)
@@ -44,7 +59,7 @@ func Path(m Matrix, startCost []int, exact bool) ([]int, int, error) {
 	var cost int
 	var err error
 	if exact {
-		tour, cost, err = SolveExact(ext)
+		tour, cost, err = SolveExactMeter(mt, ext)
 		if err != nil {
 			return nil, 0, err
 		}

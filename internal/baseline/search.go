@@ -7,6 +7,7 @@ import (
 
 	"marchgen/fault"
 	"marchgen/fsm"
+	"marchgen/internal/budget"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -39,6 +40,14 @@ func (oc *optionCache) get(entry march.Bit, maxLen int) [][]march.Op {
 // state and memoisation — the pruned-search baseline of Zarrineh et al.
 // It fails if no test of complexity ≤ maxOps exists.
 func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, error) {
+	return BranchBoundMeter(nil, instances, maxOps)
+}
+
+// BranchBoundMeter is BranchBound under a budget meter: the search aborts
+// with a typed error on context cancellation or once the soft deadline has
+// passed (this search is itself a fallback, so there is nothing cheaper
+// left to degrade to). A nil meter searches unbounded.
+func BranchBoundMeter(mt *budget.Meter, instances []fault.Instance, maxOps int) (*march.Test, Stats, error) {
 	start := time.Now()
 	stats := Stats{}
 	machines := make([]fsm.Machine, len(instances))
@@ -47,12 +56,24 @@ func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, er
 	}
 	oc := newOptionCache()
 
-	for k := 1; k <= maxOps; k++ {
+	var searchErr error
+	for k := 1; k <= maxOps && searchErr == nil; k++ {
 		memo := map[string]int{}
 		var path []elemChoice
 		var dfs func(s *searchState, remaining int) bool
 		dfs = func(s *searchState, remaining int) bool {
+			if searchErr != nil {
+				return false
+			}
+			if err := mt.Check(); err != nil {
+				searchErr = err
+				return false
+			}
 			stats.Nodes++
+			if stats.Nodes%1024 == 0 && mt.SoftExpired() {
+				searchErr = budget.ErrBudgetExhausted
+				return false
+			}
 			if s.allDetected() {
 				return true
 			}
@@ -89,7 +110,7 @@ func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, er
 			memo[skey] = remaining
 			return false
 		}
-		if dfs(initialState(instances), k) {
+		if dfs(initialState(instances), k) && searchErr == nil {
 			t := buildTest(path)
 			stats.Elapsed = time.Since(start)
 			stats.Tests++
@@ -102,6 +123,9 @@ func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, er
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	if searchErr != nil {
+		return nil, stats, searchErr
+	}
 	return nil, stats, fmt.Errorf("baseline: no March test of complexity ≤ %d covers the fault list", maxOps)
 }
 

@@ -1,0 +1,148 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilMeterIsNoOp(t *testing.T) {
+	var m *Meter
+	if err := m.Check(); err != nil {
+		t.Fatalf("nil meter Check: %v", err)
+	}
+	if err := m.CheckNow(); err != nil {
+		t.Fatalf("nil meter CheckNow: %v", err)
+	}
+	if err := m.Node(); err != nil {
+		t.Fatalf("nil meter Node: %v", err)
+	}
+	if m.SoftExpired() {
+		t.Fatal("nil meter reports soft expiry")
+	}
+}
+
+func TestCheckMapsContextErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMeter(ctx, Budget{})
+	if err := m.CheckNow(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: got %v, want ErrCanceled", err)
+	}
+
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	m2 := NewMeter(ctx2, Budget{})
+	if err := m2.CheckNow(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired ctx: got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestCheckStrideEventuallyObservesCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{})
+	cancel()
+	var err error
+	for i := 0; i < 2*checkStride && err == nil; i++ {
+		err = m.Check()
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("stride checks never observed cancellation: %v", err)
+	}
+	// The error latches.
+	if err := m.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("latched error lost: %v", err)
+	}
+}
+
+func TestNodeBudgetExhausts(t *testing.T) {
+	m := NewMeter(context.Background(), Budget{ATSPNodes: 3})
+	for i := 0; i < 3; i++ {
+		if err := m.Node(); err != nil {
+			t.Fatalf("node %d within budget: %v", i, err)
+		}
+	}
+	if err := m.Node(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over budget: got %v, want ErrBudgetExhausted", err)
+	}
+	// Exhaustion latches without growing the count.
+	if err := m.Node(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("latched exhaustion lost: %v", err)
+	}
+	if m.Nodes() != 4 {
+		t.Fatalf("Nodes() = %d, want 4", m.Nodes())
+	}
+}
+
+func TestSoftExpired(t *testing.T) {
+	past := NewMeter(context.Background(), Budget{Deadline: time.Now().Add(-time.Millisecond)})
+	if !past.SoftExpired() {
+		t.Fatal("past soft deadline not reported expired")
+	}
+	future := NewMeter(context.Background(), Budget{Deadline: time.Now().Add(time.Hour)})
+	if future.SoftExpired() {
+		t.Fatal("future soft deadline reported expired")
+	}
+	if err := past.CheckNow(); err != nil {
+		t.Fatalf("soft deadline must not hard-cancel: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	b, err := ParseSpec("nodes=100, selections=4,candidates=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ATSPNodes != 100 || b.Selections != 4 || b.Candidates != 7 || !b.Deadline.IsZero() {
+		t.Fatalf("unexpected budget %+v", b)
+	}
+	b, err = ParseSpec("soft=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Until(b.Deadline); d <= 0 || d > time.Second {
+		t.Fatalf("soft deadline %v not ~250ms ahead", d)
+	}
+	if b, err := ParseSpec(""); err != nil || !b.Unlimited() {
+		t.Fatalf("empty spec: %+v, %v", b, err)
+	}
+	for _, bad := range []string{"nodes", "nodes=x", "soft=abc", "frobs=3", "nodes=-1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInternalError(t *testing.T) {
+	base := errors.New("boom")
+	e := &InternalError{Stage: "generate", Value: base, Stack: []byte("stack")}
+	if !errors.Is(e, ErrInternal) {
+		t.Fatal("InternalError does not match ErrInternal")
+	}
+	if !errors.Is(e, base) {
+		t.Fatal("InternalError does not unwrap its error value")
+	}
+	var ie *InternalError
+	if !errors.As(error(e), &ie) || ie.Stage != "generate" {
+		t.Fatal("errors.As failed to recover *InternalError")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{ErrCanceled, ExitCanceled},
+		{ErrDeadlineExceeded, ExitCanceled},
+		{ErrBudgetExhausted, ExitFail},
+		{errors.New("other"), ExitFail},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"marchgen/fsm"
 	"marchgen/internal/atsp"
 	"marchgen/internal/baseline"
+	"marchgen/internal/budget"
 	"marchgen/internal/gts"
 	"marchgen/internal/sim"
 	"marchgen/internal/tpg"
@@ -54,6 +57,10 @@ type Options struct {
 	DisableFallback bool
 	// FallbackCap bounds the fallback search complexity (default 12).
 	FallbackCap int
+	// Budget bounds the resources the run may spend; zero means
+	// unlimited. Exhaustion degrades the result (see Result.Degraded)
+	// instead of failing, unless no valid candidate exists yet.
+	Budget budget.Budget
 }
 
 // DefaultOptions returns the options used by the published experiments.
@@ -84,6 +91,16 @@ type Result struct {
 	// candidate and the bounded branch-and-bound fallback supplied the
 	// (still provably minimal) test.
 	UsedFallback bool
+	// Degraded reports that a soft budget ran out mid-run and the
+	// pipeline downgraded to a cheaper strategy somewhere: the test is
+	// still simulator-validated complete, but no longer proven minimal.
+	Degraded bool
+	// DegradedStages names the stages that downgraded ("select", "atsp",
+	// "assemble", "shrink"), in the order the downgrades happened.
+	DegradedStages []string
+	// StageElapsed is the wall-clock time per pipeline stage ("expand",
+	// "atsp", "assemble", "validate", "shrink", "finalize").
+	StageElapsed map[string]time.Duration
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
 	// Coverage is the final validation report.
@@ -93,10 +110,39 @@ type Result struct {
 // Generate synthesises a minimal March test covering every instance of the
 // given fault models.
 func Generate(models []fault.Model, opts Options) (*Result, error) {
+	return GenerateCtx(context.Background(), models, opts)
+}
+
+// GenerateCtx is Generate under a cancellation context and the soft
+// resource budget of opts.Budget. Cancelling ctx (or passing its deadline)
+// aborts the run with budget.ErrCanceled / budget.ErrDeadlineExceeded.
+// Exhausting a soft budget instead degrades the run — exact ATSP ordering
+// falls back to the layered heuristics, enumeration and shrinking stop
+// early — and the result, still simulator-validated complete, is marked
+// Degraded. Only when a budget runs out before any valid candidate exists
+// does the run fail, with budget.ErrBudgetExhausted.
+func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Result, error) {
 	start := time.Now()
 	if opts.SelectionLimit <= 0 {
 		opts.SelectionLimit = 64
 	}
+	m := budget.NewMeter(ctx, opts.Budget)
+	if err := m.CheckNow(); err != nil {
+		return nil, err
+	}
+	res := &Result{StageElapsed: map[string]time.Duration{}}
+	degrade := func(stage string) {
+		res.Degraded = true
+		for _, s := range res.DegradedStages {
+			if s == stage {
+				return
+			}
+		}
+		res.DegradedStages = append(res.DegradedStages, stage)
+	}
+	stage := func(name string, t0 time.Time) { res.StageElapsed[name] += time.Since(t0) }
+
+	t0 := time.Now()
 	instances := fault.Instances(models)
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("core: empty fault list")
@@ -106,17 +152,32 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 		classes = splitClasses(classes)
 	}
 	selections := tpg.Selections(classes, opts.SelectionLimit)
-
-	res := &Result{
-		Instances: instances,
-		Classes:   len(classes),
+	stage("expand", t0)
+	if err := m.CheckNow(); err != nil {
+		return nil, err
 	}
-	gen := &genContext{instances: instances, verdict: map[string]bool{}}
+	if lim := opts.Budget.Selections; lim > 0 && lim < len(selections) {
+		selections = selections[:lim]
+		degrade("select")
+	}
+
+	res.Instances = instances
+	res.Classes = len(classes)
+	res.Selections = len(selections)
+	gen := &genContext{instances: instances, verdict: map[string]bool{}, meter: m}
 	var best *march.Test
 	var lastErr error
 	bestNodes, bestCost := 0, 0
 	seenNodeSets := map[string]bool{}
+search:
 	for _, sel := range selections {
+		if err := m.CheckNow(); err != nil {
+			return nil, err
+		}
+		if m.SoftExpired() {
+			degrade("select")
+			break
+		}
 		nodes := tpg.Reduce(classes, sel)
 		nodeSig := ""
 		for _, n := range nodes {
@@ -126,8 +187,13 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 			continue // different selections can reduce to the same TPG
 		}
 		seenNodeSets[nodeSig] = true
-		patterns, cost, err := orderPatterns(nodes, opts.Exact)
+		t0 = time.Now()
+		patterns, cost, err := orderPatterns(m, nodes, opts.Exact, degrade)
+		stage("atsp", t0)
 		if err != nil {
+			if budget.IsHard(err) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -138,21 +204,41 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 			} else {
 				seenOrder[sig] = true
 			}
-			cands, err := gts.Assemble(ordered, opts.Beam)
+			t0 = time.Now()
+			cands, err := gts.AssembleMeter(m, ordered, opts.Beam)
+			stage("assemble", t0)
 			if err != nil {
+				if budget.IsHard(err) {
+					return nil, err
+				}
 				lastErr = err
 				continue
 			}
 			for _, cand := range cands {
+				if lim := opts.Budget.Candidates; lim > 0 && res.Candidates >= lim {
+					degrade("assemble")
+					break search
+				}
 				res.Candidates++
 				if best != nil && cand.Complexity() >= best.Complexity()+2 {
 					continue // too long to beat the incumbent even after shrinking
 				}
-				if !gen.complete(cand) {
+				t0 = time.Now()
+				ok := gen.complete(cand)
+				stage("validate", t0)
+				if gen.err != nil {
+					return nil, gen.err
+				}
+				if !ok {
 					continue
 				}
 				if !opts.DisableShrink {
+					t0 = time.Now()
 					cand = gen.shrink(cand)
+					stage("shrink", t0)
+					if gen.err != nil {
+						return nil, gen.err
+					}
 				}
 				if better(cand, best) {
 					best = cand
@@ -161,25 +247,39 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 			}
 		}
 	}
-	res.Selections = len(selections)
+	if gen.softStopped {
+		degrade("shrink")
+	}
 	if best == nil && !opts.DisableFallback {
-		best = fallbackSearch(instances, opts)
+		fb, err := fallbackSearch(m, instances, opts, degrade)
+		if err != nil {
+			return nil, err
+		}
+		best = fb
 		res.UsedFallback = best != nil
 	}
 	if best == nil {
-		if lastErr != nil {
-			return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes; last pipeline error: %w)", len(classes), lastErr)
+		if res.Degraded {
+			return nil, fmt.Errorf("core: %w before any valid candidate was found (%d classes)", budget.ErrBudgetExhausted, len(classes))
 		}
-		return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes)", len(classes))
+		if lastErr != nil {
+			return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes): %w; last pipeline error: %w", len(classes), budget.ErrUnsupportedFault, lastErr)
+		}
+		return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes): %w", len(classes), budget.ErrUnsupportedFault)
 	}
+	t0 = time.Now()
 	best = gen.relaxOrders(best)
-	cov, err := sim.Evaluate(best, instances)
+	if gen.err != nil {
+		return nil, gen.err
+	}
+	cov, err := sim.EvaluateCtx(ctx, best, instances)
 	if err != nil {
 		return nil, err
 	}
 	if !cov.Complete() {
 		return nil, fmt.Errorf("core: internal error: final test lost coverage")
 	}
+	stage("finalize", t0)
 	res.Test = best
 	res.Complexity = best.Complexity()
 	res.Nodes = bestNodes
@@ -192,8 +292,10 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 // fallbackSearch runs the bounded branch-and-bound generator when the
 // rewrite grammar cannot realise some pattern of an exotic user-defined
 // fault. Retention faults are excluded (the search space has no delay
-// elements).
-func fallbackSearch(instances []fault.Instance, opts Options) *march.Test {
+// elements). The returned error is non-nil only on hard cancellation; a
+// fruitless or soft-exhausted search returns (nil, nil) and lets the
+// caller report the overall failure.
+func fallbackSearch(m *budget.Meter, instances []fault.Instance, opts Options, degrade func(string)) (*march.Test, error) {
 	cap := opts.FallbackCap
 	if cap <= 0 {
 		cap = 12
@@ -202,16 +304,22 @@ func fallbackSearch(instances []fault.Instance, opts Options) *march.Test {
 		for _, b := range inst.BFEs {
 			for _, in := range b.Pattern.Excite {
 				if in.IsWait() {
-					return nil
+					return nil, nil
 				}
 			}
 		}
 	}
-	t, _, err := baseline.BranchBound(instances, cap)
+	t, _, err := baseline.BranchBoundMeter(m, instances, cap)
 	if err != nil {
-		return nil
+		if budget.IsHard(err) {
+			return nil, err
+		}
+		if errors.Is(err, budget.ErrBudgetExhausted) {
+			degrade("fallback")
+		}
+		return nil, nil
 	}
-	return t
+	return t, nil
 }
 
 // better orders candidates by complexity, then element count.
@@ -244,8 +352,10 @@ func splitClasses(classes []tpg.Class) []tpg.Class {
 // returns the pattern orderings worth assembling: every optimal visit (the
 // rewrite engine folds different optimal orders into March tests of
 // different quality) plus each one reversed. In heuristic mode a single
-// near-optimal path and its reverse are returned.
-func orderPatterns(nodes []tpg.Node, exact bool) ([][]fsm.Pattern, int, error) {
+// near-optimal path and its reverse are returned. When the exact solvers
+// exhaust the meter's node budget the ordering degrades to the heuristic
+// path automatically and degrade("atsp") records the downgrade.
+func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, degrade func(string)) ([][]fsm.Pattern, int, error) {
 	g := tpg.New(nodes)
 	if len(nodes) == 1 {
 		return [][]fsm.Pattern{{nodes[0].Pattern}}, g.StartCost(0) + g.NodeCost(0), nil
@@ -260,12 +370,18 @@ func orderPatterns(nodes []tpg.Node, exact bool) ([][]fsm.Pattern, int, error) {
 	var cost int
 	if exact {
 		var err error
-		paths, cost, err = atsp.OptimalPaths(atsp.Matrix(g.Weight), starts, 8)
-		if err != nil {
+		paths, cost, err = atsp.OptimalPathsMeter(m, atsp.Matrix(g.Weight), starts, 8)
+		switch {
+		case err == nil:
+		case errors.Is(err, budget.ErrBudgetExhausted):
+			degrade("atsp")
+			exact = false
+		default:
 			return nil, 0, err
 		}
-	} else {
-		path, c, err := atsp.Path(atsp.Matrix(g.Weight), starts, false)
+	}
+	if !exact {
+		path, c, err := atsp.PathMeter(m, atsp.Matrix(g.Weight), starts, false)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -285,13 +401,29 @@ func orderPatterns(nodes []tpg.Node, exact bool) ([][]fsm.Pattern, int, error) {
 }
 
 // genContext memoises completeness verdicts by test signature: the same
-// candidate recurs across orderings, selections and shrink steps.
+// candidate recurs across orderings, selections and shrink steps. It also
+// carries the run's budget meter: a hard cancellation observed during
+// validation latches into err (and fails the pending verdict), while the
+// soft deadline merely stops the shrink loop early via softStopped.
 type genContext struct {
 	instances []fault.Instance
 	verdict   map[string]bool
+	meter     *budget.Meter
+	// err is the first hard-cancellation error observed mid-validation.
+	err error
+	// softStopped records that shrinking stopped early on the soft
+	// deadline (the result is then valid but possibly still redundant).
+	softStopped bool
 }
 
 func (g *genContext) complete(t *march.Test) bool {
+	if g.err != nil {
+		return false
+	}
+	if err := g.meter.Check(); err != nil {
+		g.err = err
+		return false
+	}
 	if t == nil || t.Validate() != nil {
 		return false
 	}
@@ -321,6 +453,13 @@ func orderSignature(patterns []fsm.Pattern) string {
 func (g *genContext) shrink(t *march.Test) *march.Test {
 	cur := t
 	for {
+		if g.err != nil {
+			return cur
+		}
+		if g.meter.SoftExpired() {
+			g.softStopped = true
+			return cur
+		}
 		improved := false
 	scan:
 		for e := 0; e < len(cur.Elements); e++ {

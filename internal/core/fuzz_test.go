@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
-	"strings"
 	"testing"
+	"time"
 
 	"marchgen/fault"
 	"marchgen/fsm"
+	"marchgen/internal/budget"
 	"marchgen/internal/cover"
 	"marchgen/march"
 )
@@ -71,8 +74,7 @@ func TestFuzzRandomUserFaults(t *testing.T) {
 		}
 		res, err := Generate([]fault.Model{model}, DefaultOptions())
 		if err != nil {
-			if strings.Contains(err.Error(), "no construction realises") ||
-				strings.Contains(err.Error(), "not supported") {
+			if errors.Is(err, budget.ErrUnsupportedFault) {
 				continue // outside the rewrite grammar: clearly reported
 			}
 			t.Fatalf("trial %d: %v", trial, err)
@@ -91,6 +93,49 @@ func TestFuzzRandomUserFaults(t *testing.T) {
 	}
 	if generated < trials/3 {
 		t.Errorf("only %d/%d fuzz trials produced a test — generator too restrictive", generated, trials)
+	}
+}
+
+// TestFuzzShortDeadlineTypedErrors re-runs the random-fault fuzz under
+// tight hard deadlines: whatever the pipeline is doing when the context
+// expires, the outcome must be either a valid result or one of the typed
+// sentinel errors — never a panic (which would crash the test binary)
+// and never an untyped error.
+func TestFuzzShortDeadlineTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(443322))
+	trials := 40
+	if testing.Short() {
+		trials = 15
+	}
+	// Stagger the deadlines so expiry lands in different pipeline stages.
+	deadlines := []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	for trial := 0; trial < trials; trial++ {
+		dev := randomDeviation(rng)
+		inst, err := fault.FromDeviations("FUZZ", devName(trial, 0, dev), false, dev)
+		if err != nil {
+			continue // unobservable or masked: correctly rejected
+		}
+		model, err := fault.Custom("FUZZ", "randomised fault model", inst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadlines[trial%len(deadlines)])
+		res, err := GenerateCtx(ctx, []fault.Model{model}, DefaultOptions())
+		cancel()
+		if err == nil {
+			if res == nil || res.Test == nil {
+				t.Fatalf("trial %d: nil result without error", trial)
+			}
+			continue
+		}
+		typed := errors.Is(err, budget.ErrCanceled) ||
+			errors.Is(err, budget.ErrDeadlineExceeded) ||
+			errors.Is(err, budget.ErrBudgetExhausted) ||
+			errors.Is(err, budget.ErrUnsupportedFault)
+		if !typed {
+			t.Fatalf("trial %d: untyped error under deadline %v: %v",
+				trial, deadlines[trial%len(deadlines)], err)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"marchgen/fsm"
+	"marchgen/internal/budget"
 	"marchgen/march"
 )
 
@@ -149,6 +150,12 @@ func (st *state) delay() bool {
 // patterns structurally; the caller must still validate fault coverage
 // against the real fault machines.
 func Assemble(patterns []fsm.Pattern, opts Options) ([]*march.Test, error) {
+	return AssembleMeter(nil, patterns, opts)
+}
+
+// AssembleMeter is Assemble under a budget meter: the beam aborts with a
+// typed error when the caller's context is canceled (nil meter: unbounded).
+func AssembleMeter(mt *budget.Meter, patterns []fsm.Pattern, opts Options) ([]*march.Test, error) {
 	if opts.BeamWidth <= 0 {
 		opts = DefaultOptions()
 	}
@@ -163,8 +170,14 @@ func Assemble(patterns []fsm.Pattern, opts Options) ([]*march.Test, error) {
 	beam := []*state{{pre: march.X, end: march.X}}
 	oracle := newOracle()
 	for _, s := range shapes {
+		if err := mt.CheckNow(); err != nil {
+			return nil, err
+		}
 		var next []*state
 		for _, st := range beam {
+			if err := mt.Check(); err != nil {
+				return nil, err
+			}
 			next = append(next, expand(st, s, oracle)...)
 		}
 		if len(next) == 0 {

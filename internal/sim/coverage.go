@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"marchgen/fault"
 	"marchgen/fsm"
+	"marchgen/internal/budget"
 	"marchgen/march"
 )
 
@@ -56,6 +58,13 @@ func (c Coverage) Missed() []string {
 // sequences to every cell pair (see the package tests, which cross-check it
 // against the n-cell engine).
 func Evaluate(t *march.Test, instances []fault.Instance) (Coverage, error) {
+	return EvaluateCtx(context.Background(), t, instances)
+}
+
+// EvaluateCtx is Evaluate with cancellation: the per-instance loop checks
+// ctx and aborts with a typed error (budget.ErrCanceled or
+// budget.ErrDeadlineExceeded).
+func EvaluateCtx(ctx context.Context, t *march.Test, instances []fault.Instance) (Coverage, error) {
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -74,6 +83,9 @@ func Evaluate(t *march.Test, instances []fault.Instance) (Coverage, error) {
 	}
 	cov := Coverage{Test: t}
 	for _, inst := range instances {
+		if err := budget.CtxErr(ctx); err != nil {
+			return Coverage{}, err
+		}
 		r := InstanceResult{Instance: inst, Detected: true}
 		detecting := map[int]int{} // op index -> number of resolutions confirming
 		for _, tr := range traces {
@@ -143,6 +155,12 @@ func Runs(t *march.Test, inst fault.Instance) ([]Run, error) {
 // of the involved cells and every ⇕ resolution is enumerated, and detection
 // must hold in all of them.
 func EvaluateN(t *march.Test, instances []fault.Instance, n int) (Coverage, error) {
+	return EvaluateNCtx(context.Background(), t, instances, n)
+}
+
+// EvaluateNCtx is EvaluateN with cancellation: the per-instance loop
+// checks ctx and aborts with a typed error.
+func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance, n int) (Coverage, error) {
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -152,6 +170,9 @@ func EvaluateN(t *march.Test, instances []fault.Instance, n int) (Coverage, erro
 	}
 	cov := Coverage{Test: t}
 	for _, inst := range instances {
+		if err := budget.CtxErr(ctx); err != nil {
+			return Coverage{}, err
+		}
 		r := InstanceResult{Instance: inst, Detected: true}
 		detecting := map[int]int{}
 		runs := 0

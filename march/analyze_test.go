@@ -27,7 +27,7 @@ func randomTest(rng *rand.Rand) *Test {
 }
 
 func TestAnalyze(t *testing.T) {
-	mt := MustParse("", "{ ⇕(w0); Del; ⇑(r0,w1); ⇓(r1,w0,r0) }")
+	mt := mustParse("", "{ ⇕(w0); Del; ⇑(r0,w1); ⇓(r1,w0,r0) }")
 	s := Analyze(mt)
 	if s.Reads != 3 || s.Writes != 3 || s.Elements != 3 || s.Delays != 1 {
 		t.Errorf("stats %+v", s)
@@ -60,9 +60,9 @@ func TestReverseInvolution(t *testing.T) {
 }
 
 func TestComplementSwapsData(t *testing.T) {
-	mt := MustParse("X", "{ ⇕(w0); ⇑(r0,w1) }")
+	mt := mustParse("X", "{ ⇕(w0); ⇑(r0,w1) }")
 	c := Complement(mt)
-	want := MustParse("", "{ ⇕(w1); ⇑(r1,w0) }")
+	want := mustParse("", "{ ⇕(w1); ⇑(r1,w0) }")
 	if !c.Equal(want) {
 		t.Errorf("complement %s, want %s", c, want)
 	}
@@ -72,8 +72,8 @@ func TestComplementSwapsData(t *testing.T) {
 }
 
 func TestConcat(t *testing.T) {
-	a := MustParse("", "{ ⇕(w0); ⇕(r0) }")
-	b := MustParse("", "{ ⇕(w1); ⇕(r1) }")
+	a := mustParse("", "{ ⇕(w0); ⇕(r0) }")
+	b := mustParse("", "{ ⇕(w1); ⇕(r1) }")
 	c := Concat(a, b)
 	if c.Complexity() != 4 || len(c.Elements) != 4 {
 		t.Errorf("concat %s", c)
@@ -98,7 +98,7 @@ func TestCanonical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := MustParse("", "{ ⇕(w0); Del; ⇕(r0) }")
+	want := mustParse("", "{ ⇕(w0); Del; ⇕(r0) }")
 	if !c.Equal(want) {
 		t.Errorf("canonical %s, want %s", c, want)
 	}

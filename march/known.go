@@ -13,112 +13,126 @@ type KnownTest struct {
 	Notes      string
 }
 
+// mustParse parses a library test, panicking on error. It runs only at
+// package init time, building the knownTests declarations below: a
+// failure there is a typo in this file, not a user input, and every
+// entry is exercised by the package tests. User input goes through
+// Parse, which returns errors.
+func mustParse(name, s string) *Test {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	t.Name = name
+	return t
+}
+
 // knownTests is the library of classic March tests used as the "equivalent
 // known March test" column of the paper's Table 3 and by the coverage-audit
 // tooling. Notation follows van de Goor, "Testing Semiconductor Memories:
 // Theory and Practice", Wiley 1991 (reference [1] of the paper).
 var knownTests = map[string]KnownTest{
 	"MATS": {
-		Test:       MustParse("MATS", "{ ⇕(w0); ⇕(r0,w1); ⇕(r1) }"),
+		Test:       mustParse("MATS", "{ ⇕(w0); ⇕(r0,w1); ⇕(r1) }"),
 		Complexity: 4,
 		Source:     "Nair 1979; van de Goor [1] §8",
 		Notes:      "minimal SAF test for AND/OR-type address decoders",
 	},
 	"MATS+": {
-		Test:       MustParse("MATS+", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }"),
+		Test:       mustParse("MATS+", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }"),
 		Complexity: 5,
 		Source:     "Abadir & Reghbati 1983; van de Goor [1] §8",
 		Notes:      "SAF and AF coverage for arbitrary decoder designs",
 	},
 	"MATS++": {
-		Test:       MustParse("MATS++", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0) }"),
+		Test:       mustParse("MATS++", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0) }"),
 		Complexity: 6,
 		Source:     "Breuer & Friedman 1976; van de Goor [1] §8",
 		Notes:      "SAF, TF and AF coverage",
 	},
 	"MarchX": {
-		Test:       MustParse("MarchX", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
+		Test:       mustParse("MarchX", "{ ⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
 		Complexity: 6,
 		Source:     "van de Goor [1] §9",
 		Notes:      "adds inversion coupling fault (CFin) coverage",
 	},
 	"MarchY": {
-		Test:       MustParse("MarchY", "{ ⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0) }"),
+		Test:       mustParse("MarchY", "{ ⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0) }"),
 		Complexity: 8,
 		Source:     "van de Goor [1] §9",
 		Notes:      "March X plus linked TF coverage",
 	},
 	"MarchC": {
-		Test:       MustParse("MarchC", "{ ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇕(r0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
+		Test:       mustParse("MarchC", "{ ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇕(r0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
 		Complexity: 11,
 		Source:     "Marinescu 1982",
 		Notes:      "unlinked idempotent and inversion coupling faults; contains a redundant ⇕(r0)",
 	},
 	"MarchC-": {
-		Test:       MustParse("MarchC-", "{ ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
+		Test:       mustParse("MarchC-", "{ ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0) }"),
 		Complexity: 10,
 		Source:     "van de Goor [1] §9 (March C minus the redundant element)",
 		Notes:      "SAF, TF, AF, unlinked CFin/CFid/CFst coverage; the paper's Table 3 row 5 equivalent",
 	},
 	"MarchA": {
-		Test:       MustParse("MarchA", "{ ⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0) }"),
+		Test:       mustParse("MarchA", "{ ⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0) }"),
 		Complexity: 15,
 		Source:     "Suk & Reddy 1981",
 		Notes:      "linked idempotent coupling faults",
 	},
 	"MarchB": {
-		Test:       MustParse("MarchB", "{ ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0) }"),
+		Test:       mustParse("MarchB", "{ ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0) }"),
 		Complexity: 17,
 		Source:     "Suk & Reddy 1981",
 		Notes:      "March A plus linked TF coverage",
 	},
 	"MarchU": {
-		Test:       MustParse("MarchU", "{ ⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0) }"),
+		Test:       mustParse("MarchU", "{ ⇕(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0) }"),
 		Complexity: 13,
 		Source:     "van de Goor & Gaydadjiev 1997",
 		Notes:      "unlinked fault coverage with shorter length than March B",
 	},
 	"MarchLR": {
-		Test:       MustParse("MarchLR", "{ ⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0) }"),
+		Test:       mustParse("MarchLR", "{ ⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇑(r0) }"),
 		Complexity: 14,
 		Source:     "van de Goor, Gaydadjiev, Yarmolik & Mikitjuk 1996",
 		Notes:      "realistic linked coupling faults",
 	},
 	"MarchSR": {
-		Test:       MustParse("MarchSR", "{ ⇓(w0); ⇑(r0,w1,r1,w0); ⇑(r0,r0); ⇑(w1); ⇓(r1,w0,r0,w1); ⇓(r1,r1) }"),
+		Test:       mustParse("MarchSR", "{ ⇓(w0); ⇑(r0,w1,r1,w0); ⇑(r0,r0); ⇑(w1); ⇓(r1,w0,r0,w1); ⇓(r1,r1) }"),
 		Complexity: 14,
 		Source:     "Hamdioui & van de Goor 2000",
 		Notes:      "simple realistic faults incl. read destructive faults",
 	},
 	"MarchG": {
-		Test: MustParse("MarchG",
+		Test: mustParse("MarchG",
 			"{ ⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0); Del; ⇕(r0,w1,r1); Del; ⇕(r1,w0,r0) }"),
 		Complexity: 23,
 		Source:     "van de Goor [1] §9",
 		Notes:      "March B extended with SOF and data-retention (DRF) coverage; two delay elements",
 	},
 	"MarchSS": {
-		Test: MustParse("MarchSS",
+		Test: mustParse("MarchSS",
 			"{ ⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); ⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0) }"),
 		Complexity: 22,
 		Source:     "Hamdioui, van de Goor & Rodgers 2002",
 		Notes:      "all simple static faults incl. write/read destructive and incorrect read faults",
 	},
 	"MarchRAW": {
-		Test: MustParse("MarchRAW",
+		Test: mustParse("MarchRAW",
 			"{ ⇕(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0); ⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); ⇕(r0) }"),
 		Complexity: 26,
 		Source:     "Hamdioui & Ad van de Goor 2002 (read-after-write faults)",
 		Notes:      "adds back-to-back write/read pairs for dynamic read-after-write faults",
 	},
 	"PMOVI": {
-		Test:       MustParse("PMOVI", "{ ⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0) }"),
+		Test:       mustParse("PMOVI", "{ ⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0) }"),
 		Complexity: 13,
 		Source:     "De Jonge & Smeulders 1976",
 		Notes:      "moving-inversion style March test with per-element verification",
 	},
 	"ZeroOne": {
-		Test:       MustParse("ZeroOne", "{ ⇕(w0); ⇕(r0); ⇕(w1); ⇕(r1) }"),
+		Test:       mustParse("ZeroOne", "{ ⇕(w0); ⇕(r0); ⇕(w1); ⇕(r1) }"),
 		Complexity: 4,
 		Source:     "Breuer & Friedman 1976 (MSCAN)",
 		Notes:      "detects SAF only when the address decoder is fault-free",

@@ -37,17 +37,6 @@ func Parse(s string) (*Test, error) {
 	return &t, nil
 }
 
-// MustParse is like Parse but panics on error. It is intended for
-// package-level declarations of well-known tests.
-func MustParse(name, s string) *Test {
-	t, err := Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	t.Name = name
-	return t
-}
-
 func parseElement(s string) (Element, error) {
 	if strings.EqualFold(s, "del") {
 		return DelayElement(), nil

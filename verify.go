@@ -1,6 +1,7 @@
 package marchgen
 
 import (
+	"context"
 	"fmt"
 
 	"marchgen/fault"
@@ -52,15 +53,28 @@ type CoverageReport struct {
 // complete — runs the Coverage Matrix / Set Covering non-redundancy
 // analysis.
 func Verify(t *march.Test, faults string) (*CoverageReport, error) {
+	return VerifyCtx(context.Background(), t, faults)
+}
+
+// VerifyCtx is Verify under a cancellation context: cancelling ctx aborts
+// the per-instance simulation promptly with ErrCanceled or
+// ErrDeadlineExceeded.
+func VerifyCtx(ctx context.Context, t *march.Test, faults string) (*CoverageReport, error) {
 	models, err := fault.ParseList(faults)
 	if err != nil {
 		return nil, err
 	}
-	return VerifyModels(t, models)
+	return VerifyModelsCtx(ctx, t, models)
 }
 
 // VerifyModels is Verify for an already-built fault model list.
 func VerifyModels(t *march.Test, models []fault.Model) (*CoverageReport, error) {
+	return VerifyModelsCtx(context.Background(), t, models)
+}
+
+// VerifyModelsCtx is VerifyModels under a cancellation context; see
+// VerifyCtx.
+func VerifyModelsCtx(ctx context.Context, t *march.Test, models []fault.Model) (*CoverageReport, error) {
 	if t == nil {
 		return nil, fmt.Errorf("marchgen: nil test")
 	}
@@ -68,7 +82,7 @@ func VerifyModels(t *march.Test, models []fault.Model) (*CoverageReport, error) 
 		return nil, err
 	}
 	instances := fault.Instances(models)
-	cov, err := sim.Evaluate(t, instances)
+	cov, err := sim.EvaluateCtx(ctx, t, instances)
 	if err != nil {
 		return nil, err
 	}
@@ -115,12 +129,17 @@ func VerifyKnown(name, faults string) (*CoverageReport, error) {
 // slower and exists for independent confirmation; the package tests prove
 // both engines agree.
 func VerifyN(t *march.Test, faults string, cells int) (*CoverageReport, error) {
+	return VerifyNCtx(context.Background(), t, faults, cells)
+}
+
+// VerifyNCtx is VerifyN under a cancellation context; see VerifyCtx.
+func VerifyNCtx(ctx context.Context, t *march.Test, faults string, cells int) (*CoverageReport, error) {
 	models, err := fault.ParseList(faults)
 	if err != nil {
 		return nil, err
 	}
 	instances := fault.Instances(models)
-	cov, err := sim.EvaluateN(t, instances, cells)
+	cov, err := sim.EvaluateNCtx(ctx, t, instances, cells)
 	if err != nil {
 		return nil, err
 	}
