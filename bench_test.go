@@ -1,6 +1,8 @@
 package marchgen
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"marchgen/bist"
@@ -48,6 +50,40 @@ func BenchmarkTable3Row3ADF(b *testing.B)      { benchGenerate(b, "SAF,TF,ADF", 
 func BenchmarkTable3Row4CFin(b *testing.B)     { benchGenerate(b, "SAF,TF,ADF,CFin", 6) }
 func BenchmarkTable3Row5CFid(b *testing.B)     { benchGenerate(b, "SAF,TF,ADF,CFin,CFid", 10) }
 func BenchmarkTable3Row6CFinOnly(b *testing.B) { benchGenerate(b, "CFin", 5) }
+
+// BenchmarkGenerate measures the public entry point over every Table 3
+// fault list in the three engine configurations the PR compares:
+// sequential (one worker, no cache), parallel (GOMAXPROCS workers, no
+// cache) and cached (warm memo cache). cmd/marchbench produces the
+// committed BENCH_generate.json from the same three configurations.
+func BenchmarkGenerate(b *testing.B) {
+	ctx := context.Background()
+	for _, spec := range experiments.Table3Spec() {
+		name := strings.ReplaceAll(spec.Faults, ",", "+")
+		run := func(cfg string, opts ...Option) {
+			b.Run(name+"/"+cfg, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := GenerateCtx(ctx, spec.Faults, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Complexity != spec.PaperComplexity {
+						b.Fatalf("%s: %dn, want %dn", spec.Faults, res.Complexity, spec.PaperComplexity)
+					}
+				}
+			})
+		}
+		run("sequential", WithWorkers(1), WithoutCache())
+		run("parallel", WithWorkers(0), WithoutCache())
+		ResetCache()
+		if _, err := GenerateCtx(ctx, spec.Faults, WithWorkers(1)); err != nil {
+			b.Fatal(err)
+		}
+		run("cached", WithWorkers(1))
+	}
+	ResetCache()
+}
 
 // ---------------------------------------------------------------------------
 // Figures 1–3: the behavioural FSM machinery.

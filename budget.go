@@ -81,6 +81,10 @@ var (
 	// ErrInternal reports a recovered internal invariant failure; the
 	// concrete error is an *InternalError carrying stage and stack.
 	ErrInternal = budget.ErrInternal
+	// ErrUsage reports invalid caller input: a negative budget limit, a
+	// zero key=value pair in a -budget spec (omit the key for unlimited),
+	// or a negative worker count. The CLIs map it to exit code 2.
+	ErrUsage = budget.ErrUsage
 )
 
 // InternalError is the boundary form of a recovered internal panic,

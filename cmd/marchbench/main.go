@@ -1,0 +1,154 @@
+// Command marchbench measures the generation engine over the paper's
+// Table 3 fault lists in three configurations — sequential (one worker,
+// cold cache), parallel (GOMAXPROCS workers, cold cache) and cached (warm
+// memo cache) — verifies the three produce byte-identical tests, and
+// writes the timings as JSON:
+//
+//	marchbench                          # print BENCH_generate.json content
+//	marchbench -o BENCH_generate.json   # write the committed benchmark file
+//	marchbench -reps 5                  # more repetitions (minimum is kept)
+//
+// Exit codes: 0 success, 1 failure (including a determinism violation),
+// 2 usage error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"marchgen"
+	"marchgen/internal/budget"
+	"marchgen/internal/experiments"
+)
+
+// Row is one fault list's measurement.
+type Row struct {
+	Faults       string  `json:"faults"`
+	Complexity   int     `json:"complexity"`
+	Test         string  `json:"test"`
+	SequentialNS int64   `json:"sequential_ns"`
+	ParallelNS   int64   `json:"parallel_ns"`
+	WarmCacheNS  int64   `json:"warm_cache_ns"`
+	SpeedupPar   float64 `json:"speedup_parallel"`
+	SpeedupWarm  float64 `json:"speedup_warm_cache"`
+}
+
+// File is the BENCH_generate.json schema.
+type File struct {
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Reps       int   `json:"reps"`
+	Rows       []Row `json:"rows"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON here instead of stdout")
+	reps := flag.Int("reps", 3, "repetitions per configuration (the minimum time is kept)")
+	workers := flag.Int("workers", 0, "worker count of the parallel configuration (0: GOMAXPROCS)")
+	flag.Parse()
+	if *reps <= 0 {
+		fmt.Fprintln(os.Stderr, "marchbench: -reps must be positive")
+		os.Exit(budget.ExitUsage)
+	}
+	w, err := budget.ParseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchbench:", err)
+		os.Exit(budget.ExitCode(err))
+	}
+
+	ctx := context.Background()
+	file := File{GoMaxProcs: runtime.GOMAXPROCS(0), Reps: *reps}
+	for _, spec := range experiments.Table3Spec() {
+		row := Row{Faults: spec.Faults}
+		// Sequential: one worker, no cache — the PR 1 engine.
+		seq, t, err := measure(ctx, *reps, spec.Faults,
+			marchgen.WithWorkers(1), marchgen.WithoutCache())
+		if err != nil {
+			fail(spec.Faults, err)
+		}
+		row.SequentialNS, row.Test = seq.Nanoseconds(), t
+		row.Complexity = complexityOf(ctx, spec.Faults)
+		// Parallel: full worker pool, still no cache.
+		par, pt, err := measure(ctx, *reps, spec.Faults,
+			marchgen.WithWorkers(w), marchgen.WithoutCache())
+		if err != nil {
+			fail(spec.Faults, err)
+		}
+		row.ParallelNS = par.Nanoseconds()
+		// Cached: prime the shared cache once, then measure warm hits.
+		marchgen.ResetCache()
+		if _, err := marchgen.GenerateCtx(ctx, spec.Faults, marchgen.WithWorkers(1)); err != nil {
+			fail(spec.Faults, err)
+		}
+		warm, wt, err := measure(ctx, *reps, spec.Faults, marchgen.WithWorkers(1))
+		if err != nil {
+			fail(spec.Faults, err)
+		}
+		row.WarmCacheNS = warm.Nanoseconds()
+		if pt != t || wt != t {
+			fmt.Fprintf(os.Stderr, "marchbench: %s: configurations disagree: sequential %q, parallel %q, cached %q\n",
+				spec.Faults, t, pt, wt)
+			os.Exit(budget.ExitFail)
+		}
+		row.SpeedupPar = float64(row.SequentialNS) / float64(row.ParallelNS)
+		row.SpeedupWarm = float64(row.SequentialNS) / float64(row.WarmCacheNS)
+		file.Rows = append(file.Rows, row)
+	}
+
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchbench:", err)
+		os.Exit(budget.ExitFail)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "marchbench:", err)
+		os.Exit(budget.ExitFail)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// measure runs GenerateCtx reps times and returns the minimum wall time
+// plus the generated test's text (identical across repetitions, or the
+// pipeline's determinism is broken and the caller aborts).
+func measure(ctx context.Context, reps int, faults string, opts ...marchgen.Option) (time.Duration, string, error) {
+	best, text := time.Duration(0), ""
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		res, err := marchgen.GenerateCtx(ctx, faults, opts...)
+		if err != nil {
+			return 0, "", err
+		}
+		d := time.Since(t0)
+		if i == 0 || d < best {
+			best = d
+		}
+		if s := res.Test.String(); text == "" {
+			text = s
+		} else if s != text {
+			return 0, "", fmt.Errorf("non-deterministic result: %q vs %q", s, text)
+		}
+	}
+	return best, text, nil
+}
+
+func complexityOf(ctx context.Context, faults string) int {
+	res, err := marchgen.GenerateCtx(ctx, faults, marchgen.WithWorkers(1))
+	if err != nil {
+		fail(faults, err)
+	}
+	return res.Complexity
+}
+
+func fail(faults string, err error) {
+	fmt.Fprintf(os.Stderr, "marchbench: %s: %v\n", faults, err)
+	os.Exit(budget.ExitCode(err))
+}

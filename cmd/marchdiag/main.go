@@ -35,6 +35,7 @@ func main() {
 	classes := flag.Bool("classes", false, "print the ambiguity classes")
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the dictionary is truncated instead of aborted")
+	workers := flag.Int("workers", 0, "worker pool size for the per-instance simulation (0: GOMAXPROCS); the dictionary is identical at any count")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -48,9 +49,14 @@ func main() {
 		b, err := marchgen.ParseBudget(*budgetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchdiag:", err)
-			os.Exit(budget.ExitUsage)
+			os.Exit(budget.ExitCode(err))
 		}
 		soft = b.Deadline
+	}
+	w, err := budget.ParseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchdiag:", err)
+		os.Exit(budget.ExitCode(err))
 	}
 
 	var test *march.Test
@@ -75,7 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
 		os.Exit(budget.ExitCode(err))
 	}
-	dict, truncated, err := diag.BuildCtx(ctx, test, models, soft)
+	dict, truncated, err := diag.BuildWorkersCtx(ctx, test, models, soft, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
 		os.Exit(budget.ExitCode(err))

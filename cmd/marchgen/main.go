@@ -34,6 +34,7 @@ func main() {
 	verify := flag.Bool("verify", true, "print the coverage/non-redundancy verdict")
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft resource budget, e.g. nodes=100000,selections=16,candidates=200,soft=2s (exhaustion degrades instead of failing)")
+	workers := flag.Int("workers", 0, "worker pool size for simulation and exact ATSP (0: GOMAXPROCS); the result is identical at any count")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +55,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var opts []marchgen.Option
+	w, err := budget.ParseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchgen:", err)
+		os.Exit(budget.ExitCode(err))
+	}
+	opts := []marchgen.Option{marchgen.WithWorkers(w)}
 	if *heuristic {
 		opts = append(opts, marchgen.WithHeuristicATSP())
 	}
@@ -78,6 +84,9 @@ func main() {
 		fmt.Printf("%s   (%dn)\n", res.Test, res.Complexity)
 	}
 	if *stats {
+		if res.Stats.FromCache {
+			fmt.Println("served from the memo cache (identical to a fresh run)")
+		}
 		fmt.Printf("fault instances: %d\n", len(res.Instances))
 		fmt.Printf("BFE classes:     %d (selections enumerated: %d)\n", res.Stats.Classes, res.Stats.Selections)
 		fmt.Printf("TPG nodes:       %d (optimal visit cost %d)\n", res.Stats.TPGNodes, res.Stats.PathCost)
@@ -94,7 +103,7 @@ func main() {
 			strings.Join(res.Stats.DegradedStages, ", "))
 	}
 	if *verify {
-		rep, err := marchgen.VerifyCtx(ctx, res.Test, *faults)
+		rep, err := marchgen.VerifyWorkersCtx(ctx, res.Test, *faults, w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchgen: verify:", err)
 			os.Exit(budget.ExitCode(err))

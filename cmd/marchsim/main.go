@@ -35,6 +35,7 @@ func main() {
 	perInstance := flag.Bool("per-instance", false, "print one line per fault instance")
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the optional n-cell re-validation is skipped")
+	workers := flag.Int("workers", 0, "worker pool size for the per-fault simulation (0: GOMAXPROCS); the report is identical at any count")
 	flag.Parse()
 
 	if *list {
@@ -56,9 +57,14 @@ func main() {
 		b, err := marchgen.ParseBudget(*budgetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(budget.ExitUsage)
+			os.Exit(budget.ExitCode(err))
 		}
 		soft = b.Deadline
+	}
+	w, err := budget.ParseWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(budget.ExitCode(err))
 	}
 
 	var test *march.Test
@@ -83,7 +89,7 @@ func main() {
 		os.Exit(budget.ExitUsage)
 	}
 
-	rep, err := marchgen.VerifyCtx(ctx, test, *faults)
+	rep, err := marchgen.VerifyWorkersCtx(ctx, test, *faults, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchsim:", err)
 		os.Exit(budget.ExitCode(err))
@@ -118,7 +124,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "marchsim: soft budget spent — skipping the %d-cell re-validation\n", *cells)
 			degraded = true
 		} else {
-			nrep, err := marchgen.VerifyNCtx(ctx, test, *faults, *cells)
+			nrep, err := marchgen.VerifyNWorkersCtx(ctx, test, *faults, *cells, w)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "marchsim:", err)
 				os.Exit(budget.ExitCode(err))

@@ -25,6 +25,7 @@ import (
 
 	"marchgen/fault"
 	"marchgen/internal/budget"
+	"marchgen/internal/pool"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -80,6 +81,16 @@ func Build(t *march.Test, models []fault.Model) (*Dictionary, error) {
 // truncated=true is returned: the partial dictionary still diagnoses the
 // instances it covers, it just cannot rule out the omitted ones.
 func BuildCtx(ctx context.Context, t *march.Test, models []fault.Model, soft time.Time) (*Dictionary, bool, error) {
+	return BuildWorkersCtx(ctx, t, models, soft, 1)
+}
+
+// BuildWorkersCtx is BuildCtx with the per-instance simulation fanned out
+// over a bounded worker pool (workers <= 0: GOMAXPROCS). Instances are
+// processed in batches so the soft deadline is still honoured between
+// batches, and a truncated dictionary still omits exactly a suffix of the
+// instance list; syndromes are recorded in instance order, so the full
+// dictionary is byte-identical at any worker count.
+func BuildWorkersCtx(ctx context.Context, t *march.Test, models []fault.Model, soft time.Time, workers int) (*Dictionary, bool, error) {
 	if err := sim.SelfConsistent(t); err != nil {
 		return nil, false, err
 	}
@@ -95,7 +106,13 @@ func BuildCtx(ctx context.Context, t *march.Test, models []fault.Model, soft tim
 	}
 	d.add(GoodName, Syndrome(nil))
 	truncated := false
-	for _, inst := range fault.Instances(models) {
+	insts := fault.Instances(models)
+	workers = pool.Size(workers)
+	batch := 1
+	if workers > 1 {
+		batch = workers * 4
+	}
+	for lo := 0; lo < len(insts) && !truncated; lo += batch {
 		if err := budget.CtxErr(ctx); err != nil {
 			return nil, false, err
 		}
@@ -103,15 +120,20 @@ func BuildCtx(ctx context.Context, t *march.Test, models []fault.Model, soft tim
 			truncated = true
 			break
 		}
-		runs, err := sim.Runs(t, inst)
+		hi := min(lo+batch, len(insts))
+		perInst, err := pool.Map(workers, hi-lo, func(i int) ([]sim.Run, error) {
+			return sim.Runs(t, insts[lo+i])
+		})
 		if err != nil {
 			return nil, false, err
 		}
-		for _, run := range runs {
-			if !sameResolution(run.Resolution, d.resolution) {
-				continue
+		for k, runs := range perInst {
+			for _, run := range runs {
+				if !sameResolution(run.Resolution, d.resolution) {
+					continue
+				}
+				d.add(insts[lo+k].Name, Syndrome(run.MismatchOps))
 			}
-			d.add(inst.Name, Syndrome(run.MismatchOps))
 		}
 	}
 	return d, truncated, nil

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"strings"
 
 	"marchgen/fsm"
 )
@@ -104,6 +105,46 @@ func Custom(name, description string, instances ...Instance) (Model, error) {
 		}
 	}
 	return Model{Name: name, Description: description, Instances: instances}, nil
+}
+
+// Key renders an instance list as a canonical text: per instance its
+// name, conjunctive flag, and every BFE's pattern and deviation. Two
+// lists with the same Key pose the same generation problem, which is what
+// the engine's content-addressed memo cache keys on — instance names alone
+// would alias user-defined models that reuse a name with new semantics.
+func Key(instances []Instance) string {
+	var b strings.Builder
+	for _, inst := range instances {
+		b.WriteString(inst.Model)
+		b.WriteByte('/')
+		b.WriteString(inst.Name)
+		if inst.Conjunctive {
+			b.WriteString("/conj")
+		}
+		for _, bfe := range inst.BFEs {
+			b.WriteByte('{')
+			b.WriteString(bfe.Name)
+			b.WriteByte(':')
+			b.WriteString(bfe.Pattern.String())
+			if d := bfe.Deviation; d != nil {
+				b.WriteByte(':')
+				b.WriteString(d.When.String())
+				b.WriteByte('@')
+				b.WriteString(d.On.String())
+				if d.Next != nil {
+					b.WriteString("->")
+					b.WriteString(d.Next.String())
+				}
+				if d.Out != nil {
+					b.WriteString("=>")
+					b.WriteString(d.Out.String())
+				}
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 // Instances flattens the instance lists of several models, preserving

@@ -9,6 +9,7 @@ import (
 	"marchgen/internal/budget"
 	"marchgen/internal/core"
 	"marchgen/internal/gts"
+	"marchgen/internal/memo"
 	"marchgen/march"
 )
 
@@ -47,6 +48,33 @@ func WithBeamWidth(n int) Option {
 	return func(o *core.Options) { o.Beam = gts.Options{BeamWidth: n, MaxCandidates: o.Beam.MaxCandidates} }
 }
 
+// WithWorkers bounds the generation worker pool: per-fault simulation,
+// coverage-matrix rows and exact-ATSP subtree exploration fan out over at
+// most n goroutines. n == 0 (the default) uses GOMAXPROCS; a negative n is
+// rejected with ErrUsage. The generated test and every statistic except
+// timing are byte-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithoutCache disables the process-wide memo cache for this call: the
+// run recomputes every coverage matrix, tour fragment and verdict from
+// scratch and leaves no entries behind (cold-cache measurements, tests).
+// Budgeted runs (WithBudget) bypass the cache regardless, so their
+// degradation behaviour never depends on earlier runs.
+func WithoutCache() Option {
+	return func(o *core.Options) { o.Cache = nil }
+}
+
+// ResetCache drops every entry of the process-wide memo cache that backs
+// unbudgeted Generate calls. Cached and fresh results are byte-identical,
+// so this only affects timing — it exists for cold-cache benchmarks.
+func ResetCache() { memo.Shared().Reset() }
+
+// CacheStats reports the cumulative hit/miss counters of the process-wide
+// memo cache since the last ResetCache.
+func CacheStats() (hits, misses uint64) { return memo.Shared().Stats() }
+
 // Stats reports the pipeline effort behind a generated test.
 type Stats struct {
 	// Classes is the number of BFE equivalence classes of the fault list.
@@ -64,6 +92,11 @@ type Stats struct {
 	// simulator-validated complete for the fault list, but no longer
 	// proven minimal.
 	Degraded bool
+	// FromCache reports that the whole result was served from the memo
+	// cache (see WithoutCache): an earlier unbudgeted run already solved
+	// this exact fault list under the same options. Cached results are
+	// byte-identical to the run that produced them.
+	FromCache bool
 	// DegradedStages names the stages that downgraded, in order:
 	// "select" (selection enumeration cut short), "atsp" (exact ordering
 	// fell back to heuristics), "assemble" (candidate validation cut
@@ -130,6 +163,7 @@ func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option
 		}
 	}()
 	options := core.DefaultOptions()
+	options.Cache = memo.Shared()
 	for _, opt := range opts {
 		opt(&options)
 	}
@@ -148,6 +182,7 @@ func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option
 			TPGNodes:       cres.Nodes,
 			PathCost:       cres.PathCost,
 			Candidates:     cres.Candidates,
+			FromCache:      cres.FromCache,
 			Degraded:       cres.Degraded,
 			DegradedStages: cres.DegradedStages,
 			StageElapsed:   cres.StageElapsed,

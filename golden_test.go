@@ -1,0 +1,60 @@
+package marchgen
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"marchgen/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/table3.golden from the current engine output")
+
+// TestTable3Golden locks the exact march test and complexity generated for
+// each of the paper's Table 3 fault lists against a committed golden file,
+// so any change to the pipeline that alters an emitted test — even to an
+// equally optimal one — is a conscious, reviewed decision:
+//
+//	go test -run TestTable3Golden -update .
+func TestTable3Golden(t *testing.T) {
+	ctx := context.Background()
+	var b strings.Builder
+	b.WriteString("# Generated tests for the paper's Table 3 fault lists.\n")
+	b.WriteString("# Format: <faults> | <complexity>n | <march test>\n")
+	for _, spec := range experiments.Table3Spec() {
+		res, err := GenerateCtx(ctx, spec.Faults, WithWorkers(1), WithoutCache())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Faults, err)
+		}
+		if res.Complexity != spec.PaperComplexity {
+			t.Errorf("%s: complexity %d, paper reports %d",
+				spec.Faults, res.Complexity, spec.PaperComplexity)
+		}
+		fmt.Fprintf(&b, "%s | %dn | %s\n", spec.Faults, res.Complexity, res.Test)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "table3.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("generated tests diverge from %s (re-run with -update if intended):\ngot:\n%swant:\n%s",
+			path, got, want)
+	}
+}

@@ -21,10 +21,20 @@ func OptimalPaths(m Matrix, startCost []int, limit int) ([][]int, int, error) {
 // search node, so the call aborts with a typed error on cancellation or
 // node-budget exhaustion (nil meter: only the built-in safety valve).
 func OptimalPathsMeter(mt *budget.Meter, m Matrix, startCost []int, limit int) ([][]int, int, error) {
+	return OptimalPathsWorkers(mt, m, startCost, limit, 1)
+}
+
+// OptimalPathsWorkers is OptimalPathsMeter with a worker count: the exact
+// solve establishing the optimal cost runs on `workers` goroutines, while
+// the enumeration of cost-optimal paths stays sequential — its emission
+// order feeds the rewrite engine and must be identical at any worker
+// count. The optimal cost is schedule-independent, so the enumerated set
+// is too.
+func OptimalPathsWorkers(mt *budget.Meter, m Matrix, startCost []int, limit, workers int) ([][]int, int, error) {
 	if limit <= 0 {
 		limit = 16
 	}
-	_, best, err := PathMeter(mt, m, startCost, true)
+	_, best, err := PathWorkers(mt, m, startCost, true, workers)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,251 @@
+package atsp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"marchgen/internal/budget"
+)
+
+// unset is the incumbent sentinel before any feasible tour is known. It is
+// far above any reachable tour cost yet small enough that comparisons
+// against lower bounds (themselves capped near Inf) cannot overflow.
+const unset = int64(Inf) * 4
+
+// BranchBoundWorkers is BranchBoundMeter explored by `workers` goroutines.
+// Each worker owns a double-ended queue of open subproblems: it pushes and
+// pops at the tail (depth-first, keeping the memory footprint small) while
+// idle workers steal from the head (the shallowest, largest subtrees —
+// the classic work-stealing discipline). The incumbent bound is a shared
+// atomic, so an improvement found by any worker immediately prunes every
+// other worker's subtree; the incumbent tour itself is updated under a
+// mutex with a deterministic tie-break (lexicographically smallest
+// canonical tour among equal-cost optima), so the optimal *cost* — the
+// only thing the generation pipeline consumes — is schedule-independent
+// and exact at any worker count.
+//
+// Budget semantics match the sequential solver: every expanded subproblem
+// charges mt.Node(), so hard cancellation and ATSP node-budget exhaustion
+// abort the whole solve with the same typed errors. workers <= 1 runs the
+// sequential solver unchanged.
+func BranchBoundWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return BranchBoundMeter(mt, m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(m)
+	if n == 1 {
+		return []int{0}, 0, nil
+	}
+	work := m.Clone()
+	for i := 0; i < n; i++ {
+		work[i][i] = Inf
+	}
+	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers)}
+	s.bound.Store(unset)
+	if tour, cost := bestHeuristic(m); validTour(n, tour) && cost < Inf {
+		s.best = canonical(tour)
+		s.bound.Store(int64(cost))
+	}
+	s.outstanding.Add(1)
+	s.queues[0].push(work)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			s.worker(id)
+		}(w)
+	}
+	wg.Wait()
+	if err := s.failure(); err != nil {
+		return nil, 0, err
+	}
+	if s.best == nil {
+		return nil, 0, fmt.Errorf("atsp: no feasible tour")
+	}
+	return s.best, int(s.bound.Load()), nil
+}
+
+// bbShared is the state the branch-and-bound workers share.
+type bbShared struct {
+	orig   Matrix
+	mt     *budget.Meter
+	queues []bbQueue
+
+	// bound is the incumbent tour cost, read lock-free in the hot pruning
+	// path; best is the incumbent tour, guarded by mu.
+	bound atomic.Int64
+	mu    sync.Mutex
+	best  []int
+
+	// outstanding counts open subproblems not yet fully expanded; the
+	// search is done when it reaches zero.
+	outstanding atomic.Int64
+	// stop latches an abort (cancellation, budget exhaustion).
+	stop  atomic.Bool
+	errMu sync.Mutex
+	err   error
+}
+
+// bbQueue is one worker's deque of open subproblems: the owner pushes and
+// pops at the tail, thieves steal at the head.
+type bbQueue struct {
+	mu    sync.Mutex
+	nodes []Matrix
+}
+
+func (q *bbQueue) push(w Matrix) {
+	q.mu.Lock()
+	q.nodes = append(q.nodes, w)
+	q.mu.Unlock()
+}
+
+func (q *bbQueue) pop() (Matrix, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.nodes) == 0 {
+		return nil, false
+	}
+	w := q.nodes[len(q.nodes)-1]
+	q.nodes = q.nodes[:len(q.nodes)-1]
+	return w, true
+}
+
+func (q *bbQueue) steal() (Matrix, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.nodes) == 0 {
+		return nil, false
+	}
+	w := q.nodes[0]
+	q.nodes = q.nodes[1:]
+	return w, true
+}
+
+func (s *bbShared) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.stop.Store(true)
+}
+
+func (s *bbShared) failure() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// offer records a feasible tour, keeping the cheapest — and among
+// equal-cost optima the lexicographically smallest canonical tour, so the
+// final incumbent does not depend on which worker found it first.
+func (s *bbShared) offer(cycle []int) {
+	cost := int64(s.orig.TourCost(cycle))
+	if cost > s.bound.Load() {
+		return
+	}
+	tour := canonical(cycle)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.bound.Load()
+	if cost < cur || (cost == cur && (s.best == nil || lexLess(tour, s.best))) {
+		s.best = tour
+		s.bound.Store(cost)
+	}
+}
+
+// worker drains its own deque depth-first and steals from its peers when
+// empty, exiting when every open subproblem has been expanded.
+func (s *bbShared) worker(id int) {
+	for {
+		if s.stop.Load() {
+			return
+		}
+		w, ok := s.queues[id].pop()
+		if !ok {
+			for k := 1; k < len(s.queues) && !ok; k++ {
+				w, ok = s.queues[(id+k)%len(s.queues)].steal()
+			}
+		}
+		if !ok {
+			if s.outstanding.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		s.expand(id, w)
+		s.outstanding.Add(-1)
+	}
+}
+
+// expand processes one subproblem: bound it by the assignment relaxation,
+// record it when it is a feasible tour, otherwise branch on the shortest
+// subtour exactly as the sequential solver does (CDT scheme).
+func (s *bbShared) expand(id int, w Matrix) {
+	if err := s.mt.Node(); err != nil {
+		s.fail(err)
+		return
+	}
+	rowToCol, lb := assignment(w)
+	if int64(lb) >= s.bound.Load() || lb >= Inf {
+		return
+	}
+	cycle := shortestSubtour(rowToCol)
+	if len(cycle) == len(rowToCol) {
+		s.offer(cycle)
+		return
+	}
+	for k := 0; k < len(cycle); k++ {
+		child := w.Clone()
+		from, to := cycle[k], cycle[(k+1)%len(cycle)]
+		child[from][to] = Inf
+		for f := 0; f < k; f++ {
+			ff, ft := cycle[f], cycle[(f+1)%len(cycle)]
+			for j := range child[ff] {
+				if j != ft {
+					child[ff][j] = Inf
+				}
+			}
+			for i := range child {
+				if i != ff {
+					child[i][ft] = Inf
+				}
+			}
+		}
+		s.outstanding.Add(1)
+		s.queues[id].push(child)
+	}
+}
+
+// lexLess orders tours lexicographically.
+func lexLess(a, b []int) bool {
+	for k := range a {
+		if k >= len(b) {
+			return false
+		}
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SolveExactWorkers dispatches like SolveExact with a worker count for the
+// branch-and-bound regime (Held–Karp is a sequential dynamic program and
+// already fast for every instance it handles).
+func SolveExactWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, error) {
+	if len(m) <= 13 {
+		return HeldKarpMeter(mt, m)
+	}
+	return BranchBoundWorkers(mt, m, workers)
+}

@@ -26,6 +26,14 @@ func Path(m Matrix, startCost []int, exact bool) ([]int, int, error) {
 // node-budget exhaustion. The heuristic mode only probes for cancellation
 // (it is the degradation target, so it must not consume the node budget).
 func PathMeter(mt *budget.Meter, m Matrix, startCost []int, exact bool) ([]int, int, error) {
+	return PathWorkers(mt, m, startCost, exact, 1)
+}
+
+// PathWorkers is PathMeter with a worker count for the exact solve: the
+// branch-and-bound regime explores its subtrees on `workers` goroutines
+// (see BranchBoundWorkers). The optimal cost is identical at any worker
+// count; workers <= 1 is the sequential solver unchanged.
+func PathWorkers(mt *budget.Meter, m Matrix, startCost []int, exact bool, workers int) ([]int, int, error) {
 	if err := m.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -59,7 +67,7 @@ func PathMeter(mt *budget.Meter, m Matrix, startCost []int, exact bool) ([]int, 
 	var cost int
 	var err error
 	if exact {
-		tour, cost, err = SolveExactMeter(mt, ext)
+		tour, cost, err = SolveExactWorkers(mt, ext, workers)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -22,8 +22,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +50,10 @@ var (
 	// ErrInternal reports an internal invariant failure (a recovered
 	// panic); see InternalError for the stage and stack.
 	ErrInternal = errors.New("marchgen: internal error")
+	// ErrUsage reports an invalid caller-supplied configuration value — a
+	// malformed or zero budget entry, a negative worker count. The CLIs
+	// map it to ExitUsage (2) uniformly via ExitCode.
+	ErrUsage = errors.New("marchgen: invalid usage")
 )
 
 // InternalError is the boundary form of a recovered internal panic: no
@@ -103,54 +110,100 @@ func (b Budget) Unlimited() bool {
 	return b.Deadline.IsZero() && b.ATSPNodes <= 0 && b.Selections <= 0 && b.Candidates <= 0
 }
 
+// Validate rejects semantically invalid budgets (negative counts). The
+// zero value of each field means "unlimited" and is valid; explicit zeros
+// are only rejected at the textual layer (ParseSpec), where "nodes=0"
+// would otherwise silently mean the opposite of what it reads as.
+func (b Budget) Validate() error {
+	if b.ATSPNodes < 0 {
+		return fmt.Errorf("budget: negative node count %d: %w", b.ATSPNodes, ErrUsage)
+	}
+	if b.Selections < 0 {
+		return fmt.Errorf("budget: negative selection count %d: %w", b.Selections, ErrUsage)
+	}
+	if b.Candidates < 0 {
+		return fmt.Errorf("budget: negative candidate count %d: %w", b.Candidates, ErrUsage)
+	}
+	return nil
+}
+
 // ParseSpec parses the CLI form of a Budget: a comma-separated list of
 // key=value pairs with keys "nodes" (ATSP search states), "selections",
-// "candidates" (integers) and "soft" (a time.Duration, converted to an
-// absolute soft deadline from time.Now). The empty string is the unlimited
-// budget.
+// "candidates" (positive integers) and "soft" (a positive time.Duration,
+// converted to an absolute soft deadline from time.Now). The empty string
+// is the unlimited budget; an explicit zero or negative value is a usage
+// error (wrapping ErrUsage) — omit the key to leave a dimension unlimited.
 func ParseSpec(spec string) (Budget, error) {
 	var b Budget
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return b, nil
 	}
+	count := func(key, val string) (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("budget: bad %s count %q: %w", key, val, ErrUsage)
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("budget: %s=0 is not a valid limit (omit the key for unlimited): %w", key, ErrUsage)
+		}
+		return n, nil
+	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		key, val, ok := strings.Cut(part, "=")
 		if !ok {
-			return Budget{}, fmt.Errorf("budget: malformed entry %q (want key=value)", part)
+			return Budget{}, fmt.Errorf("budget: malformed entry %q (want key=value): %w", part, ErrUsage)
 		}
 		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
 		switch strings.ToLower(key) {
 		case "soft":
 			d, err := time.ParseDuration(val)
 			if err != nil {
-				return Budget{}, fmt.Errorf("budget: bad soft deadline %q: %v", val, err)
+				return Budget{}, fmt.Errorf("budget: bad soft deadline %q: %v: %w", val, err, ErrUsage)
+			}
+			if d <= 0 {
+				return Budget{}, fmt.Errorf("budget: soft deadline %q is not positive: %w", val, ErrUsage)
 			}
 			b.Deadline = time.Now().Add(d)
 		case "nodes":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return Budget{}, fmt.Errorf("budget: bad node count %q", val)
+			n, err := count("node", val)
+			if err != nil {
+				return Budget{}, err
 			}
 			b.ATSPNodes = n
 		case "selections":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return Budget{}, fmt.Errorf("budget: bad selection count %q", val)
+			n, err := count("selection", val)
+			if err != nil {
+				return Budget{}, err
 			}
 			b.Selections = n
 		case "candidates":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return Budget{}, fmt.Errorf("budget: bad candidate count %q", val)
+			n, err := count("candidate", val)
+			if err != nil {
+				return Budget{}, err
 			}
 			b.Candidates = n
 		default:
-			return Budget{}, fmt.Errorf("budget: unknown key %q (known: soft, nodes, selections, candidates)", key)
+			return Budget{}, fmt.Errorf("budget: unknown key %q (known: soft, nodes, selections, candidates): %w", key, ErrUsage)
 		}
 	}
 	return b, nil
+}
+
+// ParseWorkers validates a CLI -workers flag value: 0 selects the
+// GOMAXPROCS-aware default, positive values are taken literally, and a
+// negative value is a usage error wrapping ErrUsage. This is the single
+// validation point shared by every CLI, so a bad worker count exits with
+// ExitUsage (2) everywhere.
+func ParseWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("budget: negative worker count %d: %w", n, ErrUsage)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
 }
 
 // CtxErr maps a context's error to the typed taxonomy (nil when the
@@ -175,22 +228,27 @@ func CtxErr(ctx context.Context) error {
 const checkStride = 64
 
 // Meter carries one generation run's cancellation context and soft budget
-// through the pipeline. It is single-goroutine by design (the pipeline is
-// sequential); a nil *Meter is valid everywhere and disables all checks,
-// which is what the legacy non-context entry points pass.
+// through the pipeline. It is safe for concurrent use: the parallel engine
+// shares one Meter between the worker pool, the parallel branch-and-bound
+// workers and the sequential driver, so hard cancellation latches exactly
+// once and node accounting stays a single global count. A nil *Meter is
+// valid everywhere and disables all checks, which is what the legacy
+// non-context entry points pass.
 type Meter struct {
 	ctx  context.Context
 	b    Budget
-	tick uint
-	// nodes counts exact-ATSP search states expended so far.
-	nodes int
-	// err latches the first hard-cancellation error so every later check
-	// is a field read.
-	err error
+	tick atomic.Uint64
+	// nodes counts exact-ATSP search states expended so far (all workers).
+	nodes atomic.Int64
 	// nodesOut latches ATSP node-budget exhaustion: once the exact
 	// solvers run dry, every later exact solve fails fast and the caller
 	// keeps using the heuristic fallback.
-	nodesOut bool
+	nodesOut atomic.Bool
+	// errOnce/err latch the first hard-cancellation error so every later
+	// check is one atomic load.
+	errSet atomic.Bool
+	errMu  sync.Mutex
+	err    error
 }
 
 // NewMeter builds the Meter for one run. ctx may be nil (treated as
@@ -202,19 +260,39 @@ func NewMeter(ctx context.Context, b Budget) *Meter {
 	return &Meter{ctx: ctx, b: b}
 }
 
+// latched returns the latched hard error, if any.
+func (m *Meter) latched() error {
+	if !m.errSet.Load() {
+		return nil
+	}
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
+
+// latch stores the first hard error and returns the winning one.
+func (m *Meter) latch(err error) error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	if m.err == nil {
+		m.err = err
+		m.errSet.Store(true)
+	}
+	return m.err
+}
+
 // Check is the cheap periodic cancellation probe for hot loops: most calls
-// are a couple of field accesses, every checkStride-th call consults the
+// are a couple of atomic loads, every checkStride-th call consults the
 // context. It returns ErrCanceled or ErrDeadlineExceeded once the run is
 // hard-canceled, permanently.
 func (m *Meter) Check() error {
 	if m == nil {
 		return nil
 	}
-	if m.err != nil {
-		return m.err
+	if err := m.latched(); err != nil {
+		return err
 	}
-	m.tick++
-	if m.tick%checkStride != 0 {
+	if m.tick.Add(1)%checkStride != 0 {
 		return nil
 	}
 	return m.CheckNow()
@@ -226,16 +304,19 @@ func (m *Meter) CheckNow() error {
 	if m == nil {
 		return nil
 	}
-	if m.err == nil {
-		m.err = CtxErr(m.ctx)
+	if err := m.latched(); err != nil {
+		return err
 	}
-	return m.err
+	if err := CtxErr(m.ctx); err != nil {
+		return m.latch(err)
+	}
+	return nil
 }
 
 // Node charges one exact-solver search state against the ATSPNodes budget
 // (and performs the periodic cancellation probe). It returns
 // ErrBudgetExhausted once the budget is spent; hard cancellation errors
-// take precedence.
+// take precedence. Concurrent callers share the one global count.
 func (m *Meter) Node() error {
 	if m == nil {
 		return nil
@@ -246,12 +327,11 @@ func (m *Meter) Node() error {
 	if m.b.ATSPNodes <= 0 {
 		return nil
 	}
-	if m.nodesOut {
+	if m.nodesOut.Load() {
 		return ErrBudgetExhausted
 	}
-	m.nodes++
-	if m.nodes > m.b.ATSPNodes {
-		m.nodesOut = true
+	if m.nodes.Add(1) > int64(m.b.ATSPNodes) {
+		m.nodesOut.Store(true)
 		return ErrBudgetExhausted
 	}
 	return nil
@@ -262,7 +342,7 @@ func (m *Meter) Nodes() int {
 	if m == nil {
 		return 0
 	}
-	return m.nodes
+	return int(m.nodes.Load())
 }
 
 // SoftExpired reports whether the soft deadline has passed: the pipeline
@@ -280,6 +360,15 @@ func (m *Meter) Budget() Budget {
 		return Budget{}
 	}
 	return m.b
+}
+
+// Context returns the run's cancellation context (context.Background for a
+// nil meter), letting pipeline stages hand it to context-based helpers.
+func (m *Meter) Context() context.Context {
+	if m == nil || m.ctx == nil {
+		return context.Background()
+	}
+	return m.ctx
 }
 
 // IsHard reports whether err is a hard-cancellation error that must abort
@@ -310,6 +399,8 @@ func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return ExitOK
+	case errors.Is(err, ErrUsage):
+		return ExitUsage
 	case IsHard(err):
 		return ExitCanceled
 	default:

@@ -3,6 +3,9 @@ package budget
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -114,6 +117,129 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestParseSpecZeroIsUsageError locks the fix for the zero-limit hole:
+// "nodes=0" used to parse as the unlimited budget — the opposite of what
+// it reads as. Every malformed or zero entry must wrap ErrUsage so the
+// CLIs exit with code 2.
+func TestParseSpecZeroIsUsageError(t *testing.T) {
+	for _, bad := range []string{
+		"nodes=0", "selections=0", "candidates=0", "soft=0s", "soft=-1s",
+		"nodes=-5", "nodes=", "=3", "nodes=1,selections=0",
+	} {
+		_, err := ParseSpec(bad)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+			continue
+		}
+		if !errors.Is(err, ErrUsage) {
+			t.Errorf("ParseSpec(%q): %v does not wrap ErrUsage", bad, err)
+		}
+	}
+}
+
+func TestBudgetValidate(t *testing.T) {
+	if err := (Budget{}).Validate(); err != nil {
+		t.Fatalf("zero budget rejected: %v", err)
+	}
+	if err := (Budget{ATSPNodes: 10, Selections: 2, Candidates: 3}).Validate(); err != nil {
+		t.Fatalf("valid budget rejected: %v", err)
+	}
+	for _, b := range []Budget{{ATSPNodes: -1}, {Selections: -2}, {Candidates: -3}} {
+		err := b.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) accepted", b)
+			continue
+		}
+		if !errors.Is(err, ErrUsage) {
+			t.Errorf("Validate(%+v): %v does not wrap ErrUsage", b, err)
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	if n, err := ParseWorkers(0); err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ParseWorkers(0) = %d, %v", n, err)
+	}
+	if n, err := ParseWorkers(5); err != nil || n != 5 {
+		t.Fatalf("ParseWorkers(5) = %d, %v", n, err)
+	}
+	_, err := ParseWorkers(-1)
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("ParseWorkers(-1): %v does not wrap ErrUsage", err)
+	}
+	if ExitCode(err) != ExitUsage {
+		t.Fatalf("ExitCode(%v) = %d, want %d", err, ExitCode(err), ExitUsage)
+	}
+}
+
+// TestMeterConcurrentNodeAccounting exercises the meter the way the
+// parallel branch-and-bound does: many goroutines charging one shared
+// node budget. The total number of successful charges must equal the
+// budget exactly, and exhaustion must latch for every worker.
+func TestMeterConcurrentNodeAccounting(t *testing.T) {
+	const budget = 1000
+	m := NewMeter(context.Background(), Budget{ATSPNodes: budget})
+	var ok, exhausted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			myOK, myEx := int64(0), int64(0)
+			for i := 0; i < 500; i++ {
+				switch err := m.Node(); {
+				case err == nil:
+					myOK++
+				case errors.Is(err, ErrBudgetExhausted):
+					myEx++
+				default:
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+			mu.Lock()
+			ok += myOK
+			exhausted += myEx
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if ok != budget {
+		t.Fatalf("%d charges succeeded, want exactly %d", ok, budget)
+	}
+	if exhausted != 8*500-budget {
+		t.Fatalf("%d charges exhausted, want %d", exhausted, 8*500-budget)
+	}
+	if err := m.Node(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("exhaustion did not latch: %v", err)
+	}
+}
+
+// TestMeterConcurrentCancelLatch checks that hard cancellation observed by
+// one goroutine is visible to all others, exactly once, with a consistent
+// error.
+func TestMeterConcurrentCancelLatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{})
+	cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			for i := 0; i < 4*checkStride && err == nil; i++ {
+				err = m.Check()
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Errorf("worker never observed cancellation: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestInternalError(t *testing.T) {
 	base := errors.New("boom")
 	e := &InternalError{Stage: "generate", Value: base, Stack: []byte("stack")}
@@ -135,6 +261,8 @@ func TestExitCode(t *testing.T) {
 		want int
 	}{
 		{nil, ExitOK},
+		{ErrUsage, ExitUsage},
+		{fmt.Errorf("wrap: %w", ErrUsage), ExitUsage},
 		{ErrCanceled, ExitCanceled},
 		{ErrDeadlineExceeded, ExitCanceled},
 		{ErrBudgetExhausted, ExitFail},

@@ -30,6 +30,7 @@ import (
 	"marchgen/internal/baseline"
 	"marchgen/internal/budget"
 	"marchgen/internal/gts"
+	"marchgen/internal/memo"
 	"marchgen/internal/sim"
 	"marchgen/internal/tpg"
 	"marchgen/march"
@@ -61,6 +62,19 @@ type Options struct {
 	// unlimited. Exhaustion degrades the result (see Result.Degraded)
 	// instead of failing, unless no valid candidate exists yet.
 	Budget budget.Budget
+	// Workers bounds the worker pool fanning out per-fault simulation,
+	// coverage-matrix rows and exact-ATSP subtree exploration (0: use
+	// GOMAXPROCS; negative is rejected as a usage error). Results are
+	// byte-identical at any worker count.
+	Workers int
+	// Cache, when non-nil, memoises coverage matrices, solved tour
+	// fragments, completeness verdicts and whole results under
+	// content-addressed keys, so repeated runs over the same fault list
+	// are served warm. Budgeted runs bypass it: a budget is a statement
+	// about the resources this run may spend, and its degradation
+	// semantics must stay reproducible rather than depend on what some
+	// earlier run left behind.
+	Cache *memo.Cache
 }
 
 // DefaultOptions returns the options used by the published experiments.
@@ -98,6 +112,11 @@ type Result struct {
 	// DegradedStages names the stages that downgraded ("select", "atsp",
 	// "assemble", "shrink"), in the order the downgrades happened.
 	DegradedStages []string
+	// FromCache reports that the whole result was served from the memo
+	// cache: the fault list and every relevant option matched an earlier
+	// completed run, so the pipeline was skipped entirely. Cached results
+	// are byte-identical to the run that produced them.
+	FromCache bool
 	// StageElapsed is the wall-clock time per pipeline stage ("expand",
 	// "atsp", "assemble", "validate", "shrink", "finalize").
 	StageElapsed map[string]time.Duration
@@ -126,6 +145,17 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	if opts.SelectionLimit <= 0 {
 		opts.SelectionLimit = 64
 	}
+	if err := opts.Budget.Validate(); err != nil {
+		return nil, err
+	}
+	workers, err := budget.ParseWorkers(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cache := opts.Cache
+	if !opts.Budget.Unlimited() {
+		cache = nil // budgeted runs bypass the cache (see Options.Cache)
+	}
 	m := budget.NewMeter(ctx, opts.Budget)
 	if err := m.CheckNow(); err != nil {
 		return nil, err
@@ -147,6 +177,14 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("core: empty fault list")
 	}
+	faultKey := fault.Key(instances)
+	var resKey string
+	if cache != nil {
+		resKey = resultKey(faultKey, opts)
+		if v, ok := cache.Get(resKey); ok {
+			return v.(*cachedResult).result(start, instances), nil
+		}
+	}
 	classes := tpg.Classes(instances)
 	if opts.DisableEquivalence {
 		classes = splitClasses(classes)
@@ -164,7 +202,15 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	res.Instances = instances
 	res.Classes = len(classes)
 	res.Selections = len(selections)
-	gen := &genContext{instances: instances, verdict: map[string]bool{}, meter: m}
+	gen := &genContext{
+		ctx:       ctx,
+		instances: instances,
+		faultKey:  faultKey,
+		verdict:   map[string]bool{},
+		meter:     m,
+		workers:   workers,
+		cache:     cache,
+	}
 	var best *march.Test
 	var lastErr error
 	bestNodes, bestCost := 0, 0
@@ -188,7 +234,7 @@ search:
 		}
 		seenNodeSets[nodeSig] = true
 		t0 = time.Now()
-		patterns, cost, err := orderPatterns(m, nodes, opts.Exact, degrade)
+		patterns, cost, err := orderPatterns(m, nodes, opts.Exact, workers, cache, degrade)
 		stage("atsp", t0)
 		if err != nil {
 			if budget.IsHard(err) {
@@ -272,7 +318,7 @@ search:
 	if gen.err != nil {
 		return nil, gen.err
 	}
-	cov, err := sim.EvaluateCtx(ctx, best, instances)
+	cov, err := sim.EvaluateWorkers(ctx, best, instances, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +332,71 @@ search:
 	res.PathCost = bestCost
 	res.Coverage = cov
 	res.Elapsed = time.Since(start)
+	if cache != nil && !res.Degraded {
+		cache.Put(resKey, &cachedResult{
+			test:         best.Clone(),
+			complexity:   res.Complexity,
+			classes:      res.Classes,
+			selections:   res.Selections,
+			nodes:        res.Nodes,
+			pathCost:     res.PathCost,
+			candidates:   res.Candidates,
+			usedFallback: res.UsedFallback,
+			coverage:     cov.Clone(),
+		})
+	}
 	return res, nil
+}
+
+// resultKey fingerprints a whole generation problem: the canonical fault
+// list plus every option that shapes the output. Workers is deliberately
+// excluded — results are byte-identical at any worker count — as is the
+// budget, because budgeted runs never reach the cache.
+func resultKey(faultKey string, opts Options) string {
+	return memo.NewFingerprinter("generate").
+		Str(faultKey).
+		Bool(opts.Exact).
+		Int(opts.SelectionLimit).
+		Int(opts.Beam.BeamWidth).
+		Int(opts.Beam.MaxCandidates).
+		Bool(opts.DisableShrink).
+		Bool(opts.DisableEquivalence).
+		Bool(opts.DisableFallback).
+		Int(opts.FallbackCap).
+		Key()
+}
+
+// cachedResult snapshots everything a warm Generate call must reproduce.
+// The stored test and coverage are deep-copied on both store and load, so
+// callers can mutate their Result freely without corrupting the cache.
+type cachedResult struct {
+	test         *march.Test
+	complexity   int
+	classes      int
+	selections   int
+	nodes        int
+	pathCost     int
+	candidates   int
+	usedFallback bool
+	coverage     sim.Coverage
+}
+
+func (c *cachedResult) result(start time.Time, instances []fault.Instance) *Result {
+	return &Result{
+		Test:         c.test.Clone(),
+		Complexity:   c.complexity,
+		Instances:    instances,
+		Classes:      c.classes,
+		Selections:   c.selections,
+		Nodes:        c.nodes,
+		PathCost:     c.pathCost,
+		Candidates:   c.candidates,
+		UsedFallback: c.usedFallback,
+		FromCache:    true,
+		StageElapsed: map[string]time.Duration{},
+		Elapsed:      time.Since(start),
+		Coverage:     c.coverage.Clone(),
+	}
 }
 
 // fallbackSearch runs the bounded branch-and-bound generator when the
@@ -348,14 +458,24 @@ func splitClasses(classes []tpg.Class) []tpg.Class {
 	return out
 }
 
+// tourFragment is a memoised exact ATSP solve: every optimal open path of
+// a TPG weight matrix, reused across Generate calls whose selections
+// reduce to the same graph. Treated as immutable once cached.
+type tourFragment struct {
+	paths [][]int
+	cost  int
+}
+
 // orderPatterns solves the constrained open-path ATSP over the TPG and
 // returns the pattern orderings worth assembling: every optimal visit (the
 // rewrite engine folds different optimal orders into March tests of
 // different quality) plus each one reversed. In heuristic mode a single
 // near-optimal path and its reverse are returned. When the exact solvers
 // exhaust the meter's node budget the ordering degrades to the heuristic
-// path automatically and degrade("atsp") records the downgrade.
-func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, degrade func(string)) ([][]fsm.Pattern, int, error) {
+// path automatically and degrade("atsp") records the downgrade. The exact
+// solve fans its branch-and-bound subtrees over `workers` goroutines and,
+// with a non-nil cache, is memoised under the weight-matrix fingerprint.
+func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, cache *memo.Cache, degrade func(string)) ([][]fsm.Pattern, int, error) {
 	g := tpg.New(nodes)
 	if len(nodes) == 1 {
 		return [][]fsm.Pattern{{nodes[0].Pattern}}, g.StartCost(0) + g.NodeCost(0), nil
@@ -369,19 +489,37 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, degrade func(s
 	var paths [][]int
 	var cost int
 	if exact {
-		var err error
-		paths, cost, err = atsp.OptimalPathsMeter(m, atsp.Matrix(g.Weight), starts, 8)
-		switch {
-		case err == nil:
-		case errors.Is(err, budget.ErrBudgetExhausted):
-			degrade("atsp")
-			exact = false
-		default:
-			return nil, 0, err
+		var key string
+		if cache != nil {
+			f := memo.NewFingerprinter("tour")
+			for _, row := range g.Weight {
+				f.Ints(row)
+			}
+			f.Ints(starts)
+			key = f.Key()
+			if v, ok := cache.Get(key); ok {
+				frag := v.(*tourFragment)
+				paths, cost = frag.paths, frag.cost
+			}
+		}
+		if paths == nil {
+			var err error
+			paths, cost, err = atsp.OptimalPathsWorkers(m, atsp.Matrix(g.Weight), starts, 8, workers)
+			switch {
+			case err == nil:
+				if cache != nil {
+					cache.Put(key, &tourFragment{paths: paths, cost: cost})
+				}
+			case errors.Is(err, budget.ErrBudgetExhausted):
+				degrade("atsp")
+				exact = false
+			default:
+				return nil, 0, err
+			}
 		}
 	}
 	if !exact {
-		path, c, err := atsp.PathMeter(m, atsp.Matrix(g.Weight), starts, false)
+		path, c, err := atsp.PathWorkers(m, atsp.Matrix(g.Weight), starts, false, workers)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -406,9 +544,18 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, degrade func(s
 // validation latches into err (and fails the pending verdict), while the
 // soft deadline merely stops the shrink loop early via softStopped.
 type genContext struct {
+	ctx       context.Context
 	instances []fault.Instance
-	verdict   map[string]bool
-	meter     *budget.Meter
+	// faultKey is the canonical fault-list key; shared verdict-cache
+	// entries are scoped to it so verdicts for different fault lists can
+	// never alias.
+	faultKey string
+	verdict  map[string]bool
+	meter    *budget.Meter
+	workers  int
+	// cache, when non-nil, shares completeness verdicts across Generate
+	// calls (the run-local verdict map still deduplicates within a run).
+	cache *memo.Cache
 	// err is the first hard-cancellation error observed mid-validation.
 	err error
 	// softStopped records that shrinking stopped early on the soft
@@ -431,9 +578,24 @@ func (g *genContext) complete(t *march.Test) bool {
 	if v, ok := g.verdict[sig]; ok {
 		return v
 	}
-	cov, err := sim.Evaluate(t, g.instances)
+	var key string
+	if g.cache != nil {
+		key = memo.NewFingerprinter("verdict").Str(g.faultKey).Str(sig).Key()
+		if v, ok := g.cache.Get(key); ok {
+			g.verdict[sig] = v.(bool)
+			return v.(bool)
+		}
+	}
+	cov, err := sim.EvaluateWorkers(g.ctx, t, g.instances, g.workers)
+	if err != nil && budget.IsHard(err) {
+		g.err = err
+		return false
+	}
 	v := err == nil && cov.Complete()
 	g.verdict[sig] = v
+	if g.cache != nil && err == nil {
+		g.cache.Put(key, v)
+	}
 	return v
 }
 

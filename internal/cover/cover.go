@@ -17,6 +17,8 @@ import (
 	"sort"
 
 	"marchgen/fault"
+	"marchgen/internal/memo"
+	"marchgen/internal/pool"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -35,17 +37,52 @@ type Matrix struct {
 // It fails when some fault condition has no mismatching read at all — the
 // matrix is only meaningful for complete tests.
 func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
+	return BuildWorkers(t, instances, 1, nil)
+}
+
+// Clone deep-copies the matrix, so cached matrices can be handed out
+// without aliasing the cache's copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		Rows: append([]int(nil), m.Rows...),
+		Cols: append([]string(nil), m.Cols...),
+		Cell: make([][]bool, len(m.Cell)),
+	}
+	for r := range m.Cell {
+		c.Cell[r] = append([]bool(nil), m.Cell[r]...)
+	}
+	return c
+}
+
+// matrixKey fingerprints a (test, fault list) pair for the memo cache.
+func matrixKey(t *march.Test, instances []fault.Instance) string {
+	return memo.NewFingerprinter("cover").Str(t.String()).Str(fault.Key(instances)).Key()
+}
+
+// BuildWorkers is Build with the per-instance row construction fanned out
+// over a bounded worker pool (workers <= 0: GOMAXPROCS) and, when cache is
+// non-nil, memoised under the canonical (test, fault list) fingerprint.
+// Columns are assembled in instance order, so the matrix is byte-identical
+// to the sequential build at any worker count, warm or cold.
+func BuildWorkers(t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Matrix, error) {
+	var key string
+	if cache != nil {
+		key = matrixKey(t, instances)
+		if v, ok := cache.Get(key); ok {
+			return v.(*Matrix).Clone(), nil
+		}
+	}
 	type column struct {
 		label string
 		ops   []int
 	}
-	var cols []column
-	rowSet := map[int]bool{}
-	for _, inst := range instances {
+	perInstance, err := pool.Map(workers, len(instances), func(i int) ([]column, error) {
+		inst := instances[i]
 		runs, err := sim.Runs(t, inst)
 		if err != nil {
 			return nil, err
 		}
+		var cols []column
 		for k, run := range runs {
 			if len(run.MismatchOps) == 0 {
 				return nil, fmt.Errorf("cover: test %s misses %s (init %s)", t, inst.Name, run.Init)
@@ -54,7 +91,18 @@ func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
 				label: fmt.Sprintf("%s/init=%s/res=%d", inst.Name, run.Init, k),
 				ops:   run.MismatchOps,
 			})
-			for _, op := range run.MismatchOps {
+		}
+		return cols, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cols []column
+	rowSet := map[int]bool{}
+	for _, ic := range perInstance {
+		for _, col := range ic {
+			cols = append(cols, col)
+			for _, op := range col.ops {
 				rowSet[op] = true
 			}
 		}
@@ -77,6 +125,9 @@ func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
 		for _, op := range col.ops {
 			m.Cell[rowIdx[op]][c] = true
 		}
+	}
+	if cache != nil {
+		cache.Put(key, m.Clone())
 	}
 	return m, nil
 }
@@ -200,7 +251,15 @@ type Report struct {
 
 // Analyze runs the full Section 6 check on a test against a fault list.
 func Analyze(t *march.Test, instances []fault.Instance) (*Report, error) {
-	m, err := Build(t, instances)
+	return AnalyzeWorkers(t, instances, 1, nil)
+}
+
+// AnalyzeWorkers is Analyze on the parallel engine: matrix rows and the
+// op-level removability audit fan out over a bounded worker pool, and a
+// non-nil cache memoises the coverage matrix across runs. The report is
+// byte-identical to the sequential analysis at any worker count.
+func AnalyzeWorkers(t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Report, error) {
+	m, err := BuildWorkers(t, instances, workers, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +280,7 @@ func Analyze(t *march.Test, instances []fault.Instance) (*Report, error) {
 			rep.RedundantReads = append(rep.RedundantReads, m.Rows[r])
 		}
 	}
-	removable, err := RemovableOps(t, instances)
+	removable, err := RemovableOpsWorkers(t, instances, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +294,14 @@ func Analyze(t *march.Test, instances []fault.Instance) (*Report, error) {
 // audit (stronger than the read-block set covering, since it also judges
 // writes).
 func RemovableOps(t *march.Test, instances []fault.Instance) ([]int, error) {
+	return RemovableOpsWorkers(t, instances, 1)
+}
+
+// RemovableOpsWorkers is RemovableOps with the per-op trial removals
+// evaluated on a bounded worker pool (each trial re-simulates the whole
+// fault list, making this the audit's hot loop). The removable set is
+// collected in flat-index order, identical at any worker count.
+func RemovableOpsWorkers(t *march.Test, instances []fault.Instance, workers int) ([]int, error) {
 	cov, err := sim.Evaluate(t, instances)
 	if err != nil {
 		return nil, err
@@ -242,22 +309,35 @@ func RemovableOps(t *march.Test, instances []fault.Instance) ([]int, error) {
 	if !cov.Complete() {
 		return nil, fmt.Errorf("cover: test %s misses %v", t, cov.Missed())
 	}
-	var removable []int
-	flat := 0
+	type trial struct{ e, o int }
+	var trials []trial
 	for e := range t.Elements {
 		for o := range t.Elements[e].Ops {
-			cand := t.Clone()
-			elem := &cand.Elements[e]
-			elem.Ops = append(append([]march.Op(nil), elem.Ops[:o]...), elem.Ops[o+1:]...)
-			if len(elem.Ops) == 0 {
-				cand.Elements = append(cand.Elements[:e], cand.Elements[e+1:]...)
+			trials = append(trials, trial{e, o})
+		}
+	}
+	verdicts, err := pool.Map(workers, len(trials), func(i int) (bool, error) {
+		e, o := trials[i].e, trials[i].o
+		cand := t.Clone()
+		elem := &cand.Elements[e]
+		elem.Ops = append(append([]march.Op(nil), elem.Ops[:o]...), elem.Ops[o+1:]...)
+		if len(elem.Ops) == 0 {
+			cand.Elements = append(cand.Elements[:e], cand.Elements[e+1:]...)
+		}
+		if len(cand.Elements) > 0 && cand.Validate() == nil {
+			if c2, err := sim.Evaluate(cand, instances); err == nil && c2.Complete() {
+				return true, nil
 			}
-			if len(cand.Elements) > 0 && cand.Validate() == nil {
-				if c2, err := sim.Evaluate(cand, instances); err == nil && c2.Complete() {
-					removable = append(removable, flat)
-				}
-			}
-			flat++
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var removable []int
+	for flat, ok := range verdicts {
+		if ok {
+			removable = append(removable, flat)
 		}
 	}
 	return removable, nil

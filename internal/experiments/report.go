@@ -150,6 +150,27 @@ test pattern) instead of forcing every BFE keeps the TPG small:
 	b.WriteString(FormatAblation(abl))
 	b.WriteString("\n")
 
+	b.WriteString(`
+## Engine performance — sequential, parallel, memo-cached
+
+The committed ` + "`BENCH_generate.json`" + ` tracks the generation engine per
+Table 3 fault list in three configurations: *sequential* (one worker, cold
+cache — the baseline engine), *parallel* (` + "`-workers 0`" + `, i.e. GOMAXPROCS,
+cold cache) and *cached* (warm content-addressed memo cache). All three
+emit byte-identical tests — the file's generator aborts otherwise, and the
+property suite re-checks it under ` + "`-race -cpu 1,4`" + `. Regenerate with:
+
+    go run ./cmd/marchbench -o BENCH_generate.json
+
+or time the same configurations in-process via:
+
+    go test -run '^$' -bench BenchmarkGenerate/ .
+
+Warm-cache hits skip the whole pipeline (fault parsing aside) and run
+three to four orders of magnitude faster than a cold generation; parallel
+speedup tracks the machine's core count and is ~1× on a single-CPU host.
+`)
+
 	ext, err := ExtensionsReport()
 	if err != nil {
 		return "", err

@@ -1,0 +1,101 @@
+// Package pool provides the bounded worker pool behind the parallel
+// generation engine. Work is always expressed as an indexed map — fn(i)
+// for i in [0, n) — and results are collected by index, so the output of a
+// parallel run is byte-identical to the sequential one regardless of the
+// worker count or goroutine scheduling. Errors are reduced the same way:
+// when several workers fail, the error of the smallest index wins, which
+// is exactly the error the sequential loop would have returned first.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size normalises a worker count: n <= 0 selects runtime.GOMAXPROCS(0)
+// (the GOMAXPROCS-aware default), anything else is returned unchanged.
+func Size(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. A failing index cancels the indices
+// not yet started; among the failures observed, the one with the smallest
+// index is returned (matching what a sequential loop would report). With
+// workers <= 1 or n <= 1 no goroutine is spawned and fn runs inline, so
+// the sequential engine is literally the workers=1 configuration.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Size(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next index to claim
+		failed atomic.Bool  // latched on first failure: stop claiming
+		mu     sync.Mutex   // guards errIdx/errVal
+		errIdx = -1
+		errVal error
+		wg     sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, errVal = i, err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		return nil, errVal
+	}
+	return out, nil
+}
+
+// Each is Map for work with no per-index result.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(7); got != 7 {
+		t.Fatalf("Size(7) = %d", got)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v, %v", got, err)
+	}
+	got, err = Map(4, 1, func(i int) (int, error) { return 42, nil })
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single: %v, %v", got, err)
+	}
+}
+
+// TestMapFirstErrorWins checks the sequential-equivalence contract: when
+// several indices fail, the error of the smallest failing index is
+// returned, exactly as a sequential loop would report.
+func TestMapFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			if i%3 == 1 { // indices 1, 4, 7, ... fail
+				return 0, fmt.Errorf("fail-%02d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail-01" {
+			t.Fatalf("workers=%d: err = %v, want fail-01", workers, err)
+		}
+	}
+}
+
+func TestMapErrorStopsEarly(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 10000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := calls.Load(); n == 10000 {
+		t.Fatalf("error did not short-circuit: all %d indices ran", n)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 99*100/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	boom := errors.New("boom")
+	if err := Each(4, 10, func(i int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMapConcurrent runs overlapping Map calls to give the race detector
+// something to chew on.
+func TestMapConcurrent(t *testing.T) {
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for r := 0; r < 20; r++ {
+				got, err := Map(3, 30, func(i int) (int, error) { return i + 1, nil })
+				if err != nil {
+					done <- err
+					return
+				}
+				for i, v := range got {
+					if v != i+1 {
+						done <- fmt.Errorf("got[%d] = %d", i, v)
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"marchgen/fault"
 	"marchgen/fsm"
 	"marchgen/internal/budget"
+	"marchgen/internal/pool"
 	"marchgen/march"
 )
 
@@ -28,6 +29,23 @@ type InstanceResult struct {
 type Coverage struct {
 	Test    *march.Test
 	Results []InstanceResult
+}
+
+// Clone deep-copies the coverage, so cached copies can be handed out
+// without aliasing the cache's entry.
+func (c Coverage) Clone() Coverage {
+	out := Coverage{Results: make([]InstanceResult, len(c.Results))}
+	if c.Test != nil {
+		out.Test = c.Test.Clone()
+	}
+	for k, r := range c.Results {
+		out.Results[k] = InstanceResult{
+			Instance:     r.Instance,
+			Detected:     r.Detected,
+			DetectingOps: append([]int(nil), r.DetectingOps...),
+		}
+	}
+	return out
 }
 
 // Complete reports whether every instance is detected.
@@ -65,6 +83,21 @@ func Evaluate(t *march.Test, instances []fault.Instance) (Coverage, error) {
 // ctx and aborts with a typed error (budget.ErrCanceled or
 // budget.ErrDeadlineExceeded).
 func EvaluateCtx(ctx context.Context, t *march.Test, instances []fault.Instance) (Coverage, error) {
+	return EvaluateWorkers(ctx, t, instances, 1)
+}
+
+// parallelThreshold is the instance count below which the per-fault
+// fan-out is not worth the goroutine hand-off and the evaluation runs
+// inline even with workers > 1.
+const parallelThreshold = 16
+
+// EvaluateWorkers is EvaluateCtx with the per-fault simulation fanned out
+// over a bounded worker pool: the input trace per ⇕ resolution is derived
+// once, then every fault instance is checked independently on up to
+// `workers` goroutines (workers <= 0: GOMAXPROCS). Results are collected
+// in instance order, so the Coverage is byte-identical to the sequential
+// evaluation at any worker count.
+func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int) (Coverage, error) {
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -81,11 +114,7 @@ func EvaluateCtx(ctx context.Context, t *march.Test, instances []fault.Instance)
 		tr, pos := Trace(t, res)
 		traces[k] = traced{tr, pos}
 	}
-	cov := Coverage{Test: t}
-	for _, inst := range instances {
-		if err := budget.CtxErr(ctx); err != nil {
-			return Coverage{}, err
-		}
+	one := func(inst fault.Instance) InstanceResult {
 		r := InstanceResult{Instance: inst, Detected: true}
 		detecting := map[int]int{} // op index -> number of resolutions confirming
 		for _, tr := range traces {
@@ -104,7 +133,27 @@ func EvaluateCtx(ctx context.Context, t *march.Test, instances []fault.Instance)
 			}
 		}
 		sort.Ints(r.DetectingOps)
-		cov.Results = append(cov.Results, r)
+		return r
+	}
+	cov := Coverage{Test: t}
+	if workers = pool.Size(workers); workers > 1 && len(instances) >= parallelThreshold {
+		results, err := pool.Map(workers, len(instances), func(i int) (InstanceResult, error) {
+			if err := budget.CtxErr(ctx); err != nil {
+				return InstanceResult{}, err
+			}
+			return one(instances[i]), nil
+		})
+		if err != nil {
+			return Coverage{}, err
+		}
+		cov.Results = results
+		return cov, nil
+	}
+	for _, inst := range instances {
+		if err := budget.CtxErr(ctx); err != nil {
+			return Coverage{}, err
+		}
+		cov.Results = append(cov.Results, one(inst))
 	}
 	return cov, nil
 }
@@ -161,6 +210,13 @@ func EvaluateN(t *march.Test, instances []fault.Instance, n int) (Coverage, erro
 // EvaluateNCtx is EvaluateN with cancellation: the per-instance loop
 // checks ctx and aborts with a typed error.
 func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance, n int) (Coverage, error) {
+	return EvaluateNWorkers(ctx, t, instances, n, 1)
+}
+
+// EvaluateNWorkers is EvaluateNCtx with the per-instance placement runs
+// fanned out over a bounded worker pool (workers <= 0: GOMAXPROCS);
+// results are collected in instance order, identical at any worker count.
+func EvaluateNWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, n, workers int) (Coverage, error) {
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -168,11 +224,7 @@ func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance
 	if err != nil {
 		return Coverage{}, err
 	}
-	cov := Coverage{Test: t}
-	for _, inst := range instances {
-		if err := budget.CtxErr(ctx); err != nil {
-			return Coverage{}, err
-		}
+	one := func(inst fault.Instance) (InstanceResult, error) {
 		r := InstanceResult{Instance: inst, Detected: true}
 		detecting := map[int]int{}
 		runs := 0
@@ -181,7 +233,7 @@ func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance
 				for _, res := range resolutions {
 					mism, err := runPlaced(t, inst, n, pair, initMask, res)
 					if err != nil {
-						return Coverage{}, err
+						return InstanceResult{}, err
 					}
 					runs++
 					if len(mism) == 0 {
@@ -199,6 +251,30 @@ func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance
 			}
 		}
 		sort.Ints(r.DetectingOps)
+		return r, nil
+	}
+	cov := Coverage{Test: t}
+	if workers = pool.Size(workers); workers > 1 && len(instances) > 1 {
+		results, err := pool.Map(workers, len(instances), func(i int) (InstanceResult, error) {
+			if err := budget.CtxErr(ctx); err != nil {
+				return InstanceResult{}, err
+			}
+			return one(instances[i])
+		})
+		if err != nil {
+			return Coverage{}, err
+		}
+		cov.Results = results
+		return cov, nil
+	}
+	for _, inst := range instances {
+		if err := budget.CtxErr(ctx); err != nil {
+			return Coverage{}, err
+		}
+		r, err := one(inst)
+		if err != nil {
+			return Coverage{}, err
+		}
 		cov.Results = append(cov.Results, r)
 	}
 	return cov, nil

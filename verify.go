@@ -6,6 +6,7 @@ import (
 
 	"marchgen/fault"
 	"marchgen/internal/cover"
+	"marchgen/internal/memo"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -67,6 +68,16 @@ func VerifyCtx(ctx context.Context, t *march.Test, faults string) (*CoverageRepo
 	return VerifyModelsCtx(ctx, t, models)
 }
 
+// VerifyWorkersCtx is VerifyCtx with a worker count; see
+// VerifyModelsWorkersCtx.
+func VerifyWorkersCtx(ctx context.Context, t *march.Test, faults string, workers int) (*CoverageReport, error) {
+	models, err := fault.ParseList(faults)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyModelsWorkersCtx(ctx, t, models, workers)
+}
+
 // VerifyModels is Verify for an already-built fault model list.
 func VerifyModels(t *march.Test, models []fault.Model) (*CoverageReport, error) {
 	return VerifyModelsCtx(context.Background(), t, models)
@@ -75,6 +86,16 @@ func VerifyModels(t *march.Test, models []fault.Model) (*CoverageReport, error) 
 // VerifyModelsCtx is VerifyModels under a cancellation context; see
 // VerifyCtx.
 func VerifyModelsCtx(ctx context.Context, t *march.Test, models []fault.Model) (*CoverageReport, error) {
+	return VerifyModelsWorkersCtx(ctx, t, models, 1)
+}
+
+// VerifyModelsWorkersCtx is VerifyModelsCtx on the parallel engine: the
+// per-fault simulation and the coverage-matrix construction fan out over a
+// bounded worker pool (workers <= 0: GOMAXPROCS), and with workers > 1 the
+// coverage matrix is memoised in the process-wide cache across calls. The
+// report is byte-identical to the sequential verification at any worker
+// count, warm or cold.
+func VerifyModelsWorkersCtx(ctx context.Context, t *march.Test, models []fault.Model, workers int) (*CoverageReport, error) {
 	if t == nil {
 		return nil, fmt.Errorf("marchgen: nil test")
 	}
@@ -82,7 +103,7 @@ func VerifyModelsCtx(ctx context.Context, t *march.Test, models []fault.Model) (
 		return nil, err
 	}
 	instances := fault.Instances(models)
-	cov, err := sim.EvaluateCtx(ctx, t, instances)
+	cov, err := sim.EvaluateWorkers(ctx, t, instances, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +124,11 @@ func VerifyModelsCtx(ctx context.Context, t *march.Test, models []fault.Model) (
 	if !rep.Complete {
 		return rep, nil
 	}
-	analysis, err := cover.Analyze(t, instances)
+	var cache *memo.Cache
+	if workers != 1 {
+		cache = memo.Shared()
+	}
+	analysis, err := cover.AnalyzeWorkers(t, instances, workers, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -134,12 +159,19 @@ func VerifyN(t *march.Test, faults string, cells int) (*CoverageReport, error) {
 
 // VerifyNCtx is VerifyN under a cancellation context; see VerifyCtx.
 func VerifyNCtx(ctx context.Context, t *march.Test, faults string, cells int) (*CoverageReport, error) {
+	return VerifyNWorkersCtx(ctx, t, faults, cells, 1)
+}
+
+// VerifyNWorkersCtx is VerifyNCtx with the per-instance placement runs
+// fanned out over a bounded worker pool (workers <= 0: GOMAXPROCS); the
+// report is byte-identical at any worker count.
+func VerifyNWorkersCtx(ctx context.Context, t *march.Test, faults string, cells, workers int) (*CoverageReport, error) {
 	models, err := fault.ParseList(faults)
 	if err != nil {
 		return nil, err
 	}
 	instances := fault.Instances(models)
-	cov, err := sim.EvaluateNCtx(ctx, t, instances, cells)
+	cov, err := sim.EvaluateNWorkers(ctx, t, instances, cells, workers)
 	if err != nil {
 		return nil, err
 	}
