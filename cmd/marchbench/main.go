@@ -8,6 +8,11 @@
 //	marchbench -o BENCH_generate.json   # write the committed benchmark file
 //	marchbench -reps 5                  # more repetitions (minimum is kept)
 //
+// Each row also reports the warm-phase memo cache traffic (hits, misses,
+// evictions) and the parallel configuration's worker-pool utilisation,
+// measured on a separate instrumented run so the timed runs stay
+// observation-free.
+//
 // Exit codes: 0 success, 1 failure (including a determinism violation),
 // 2 usage error.
 package main
@@ -17,13 +22,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"marchgen"
 	"marchgen/internal/budget"
 	"marchgen/internal/experiments"
+	"marchgen/internal/obs"
 )
 
 // Row is one fault list's measurement.
@@ -36,6 +44,16 @@ type Row struct {
 	WarmCacheNS  int64   `json:"warm_cache_ns"`
 	SpeedupPar   float64 `json:"speedup_parallel"`
 	SpeedupWarm  float64 `json:"speedup_warm_cache"`
+	// Warm-phase memo cache traffic: deltas of the process-wide cache
+	// counters across the warm-cache repetitions.
+	WarmCacheHits      uint64 `json:"warm_cache_hits"`
+	WarmCacheMisses    uint64 `json:"warm_cache_misses"`
+	WarmCacheEvictions uint64 `json:"warm_cache_evictions"`
+	// Pool utilisation of the parallel configuration: the fraction of
+	// workers × wall-time the pool's workers spent busy, from a separate
+	// instrumented run (the timed runs are observation-free).
+	PoolWorkers     int     `json:"pool_workers"`
+	PoolUtilization float64 `json:"pool_utilization"`
 }
 
 // File is the BENCH_generate.json schema.
@@ -45,54 +63,86 @@ type File struct {
 	Rows       []Row `json:"rows"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	out := flag.String("o", "", "write the JSON here instead of stdout")
 	reps := flag.Int("reps", 3, "repetitions per configuration (the minimum time is kept)")
 	workers := flag.Int("workers", 0, "worker count of the parallel configuration (0: GOMAXPROCS)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if *reps <= 0 {
 		fmt.Fprintln(os.Stderr, "marchbench: -reps must be positive")
-		os.Exit(budget.ExitUsage)
+		return budget.ExitUsage
 	}
 	w, err := budget.ParseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchbench:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
+	orun, finish, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchbench:", err)
+		return budget.ExitUsage
+	}
+	defer finish()
 
+	// The observability run (when requested) only observes the extra
+	// instrumented runs; the timed repetitions stay observation-free.
+	obsCtx := obs.Into(context.Background(), orun)
 	ctx := context.Background()
 	file := File{GoMaxProcs: runtime.GOMAXPROCS(0), Reps: *reps}
 	for _, spec := range experiments.Table3Spec() {
-		row := Row{Faults: spec.Faults}
+		row := Row{Faults: spec.Faults, PoolWorkers: w}
 		// Sequential: one worker, no cache — the PR 1 engine.
 		seq, t, err := measure(ctx, *reps, spec.Faults,
 			marchgen.WithWorkers(1), marchgen.WithoutCache())
 		if err != nil {
-			fail(spec.Faults, err)
+			return fail(spec.Faults, err)
 		}
 		row.SequentialNS, row.Test = seq.Nanoseconds(), t
-		row.Complexity = complexityOf(ctx, spec.Faults)
 		// Parallel: full worker pool, still no cache.
 		par, pt, err := measure(ctx, *reps, spec.Faults,
 			marchgen.WithWorkers(w), marchgen.WithoutCache())
 		if err != nil {
-			fail(spec.Faults, err)
+			return fail(spec.Faults, err)
 		}
 		row.ParallelNS = par.Nanoseconds()
+		// Instrumented parallel run: complexity, pool utilisation. With
+		// -trace/-metrics the CLI's shared run accumulates across rows, so
+		// the utilisation is computed from per-row snapshot deltas.
+		irunCtx, before := obsCtx, map[string]int64(nil)
+		if orun != nil {
+			before = orun.Snapshot()
+		} else {
+			irunCtx = obs.Into(context.Background(), obs.NewRun())
+		}
+		ires, err := marchgen.GenerateCtx(irunCtx, spec.Faults,
+			marchgen.WithWorkers(w), marchgen.WithoutCache())
+		if err != nil {
+			return fail(spec.Faults, err)
+		}
+		row.Complexity = ires.Complexity
+		row.PoolUtilization = poolUtilization(before, ires.Stats.Metrics, w)
 		// Cached: prime the shared cache once, then measure warm hits.
 		marchgen.ResetCache()
 		if _, err := marchgen.GenerateCtx(ctx, spec.Faults, marchgen.WithWorkers(1)); err != nil {
-			fail(spec.Faults, err)
+			return fail(spec.Faults, err)
 		}
+		cacheBefore := marchgen.CacheSnapshot()
 		warm, wt, err := measure(ctx, *reps, spec.Faults, marchgen.WithWorkers(1))
 		if err != nil {
-			fail(spec.Faults, err)
+			return fail(spec.Faults, err)
 		}
+		cacheAfter := marchgen.CacheSnapshot()
 		row.WarmCacheNS = warm.Nanoseconds()
-		if pt != t || wt != t {
-			fmt.Fprintf(os.Stderr, "marchbench: %s: configurations disagree: sequential %q, parallel %q, cached %q\n",
-				spec.Faults, t, pt, wt)
-			os.Exit(budget.ExitFail)
+		row.WarmCacheHits = cacheAfter.Hits - cacheBefore.Hits
+		row.WarmCacheMisses = cacheAfter.Misses - cacheBefore.Misses
+		row.WarmCacheEvictions = cacheAfter.Evictions - cacheBefore.Evictions
+		if pt != t || wt != t || ires.Test.String() != t {
+			fmt.Fprintf(os.Stderr, "marchbench: %s: configurations disagree: sequential %q, parallel %q, cached %q, instrumented %q\n",
+				spec.Faults, t, pt, wt, ires.Test)
+			return budget.ExitFail
 		}
 		row.SpeedupPar = float64(row.SequentialNS) / float64(row.ParallelNS)
 		row.SpeedupWarm = float64(row.SequentialNS) / float64(row.WarmCacheNS)
@@ -102,18 +152,19 @@ func main() {
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchbench:", err)
-		os.Exit(budget.ExitFail)
+		return budget.ExitFail
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+		return budget.ExitOK
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "marchbench:", err)
-		os.Exit(budget.ExitFail)
+		return budget.ExitFail
 	}
 	fmt.Println("wrote", *out)
+	return budget.ExitOK
 }
 
 // measure runs GenerateCtx reps times and returns the minimum wall time
@@ -140,15 +191,27 @@ func measure(ctx context.Context, reps int, faults string, opts ...marchgen.Opti
 	return best, text, nil
 }
 
-func complexityOf(ctx context.Context, faults string) int {
-	res, err := marchgen.GenerateCtx(ctx, faults, marchgen.WithWorkers(1))
-	if err != nil {
-		fail(faults, err)
+// poolUtilization sums the per-worker busy-time counters of one
+// instrumented generation (the delta between the run's snapshot before
+// the call and after it) and normalises by workers × generation wall
+// time, yielding the busy fraction of the pool in [0, 1] (rounded to
+// three decimals). A nil before map means the run was fresh.
+func poolUtilization(before, after map[string]int64, workers int) float64 {
+	elapsed := after["generate.elapsed_ns"] - before["generate.elapsed_ns"]
+	if elapsed <= 0 || workers <= 0 {
+		return 0
 	}
-	return res.Complexity
+	var busy int64
+	for name, v := range after {
+		if strings.HasPrefix(name, "pool.worker.") && strings.HasSuffix(name, ".busy_ns") {
+			busy += v - before[name]
+		}
+	}
+	u := float64(busy) / (float64(elapsed) * float64(workers))
+	return math.Round(u*1000) / 1000
 }
 
-func fail(faults string, err error) {
+func fail(faults string, err error) int {
 	fmt.Fprintf(os.Stderr, "marchbench: %s: %v\n", faults, err)
-	os.Exit(budget.ExitCode(err))
+	return budget.ExitCode(err)
 }

@@ -24,10 +24,13 @@ import (
 	"marchgen/diag"
 	"marchgen/fault"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 	"marchgen/march"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	knownName := flag.String("known", "MarchC-", "classic March test to build the dictionary for")
 	testStr := flag.String("test", "", "March test in conventional notation (overrides -known)")
 	faults := flag.String("faults", "SAF,TF", "comma-separated fault list")
@@ -36,9 +39,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the dictionary is truncated instead of aborted")
 	workers := flag.Int("workers", 0, "worker pool size for the per-instance simulation (0: GOMAXPROCS); the dictionary is identical at any count")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	ctx := context.Background()
+	orun, finish, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchdiag:", err)
+		return budget.ExitUsage
+	}
+	defer finish()
+
+	ctx := obs.Into(context.Background(), orun)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -49,14 +60,14 @@ func main() {
 		b, err := marchgen.ParseBudget(*budgetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchdiag:", err)
-			os.Exit(budget.ExitCode(err))
+			return budget.ExitCode(err)
 		}
 		soft = b.Deadline
 	}
 	w, err := budget.ParseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 
 	var test *march.Test
@@ -65,26 +76,26 @@ func main() {
 		test, err = march.Parse(*testStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchdiag:", err)
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 	} else {
 		kt, ok := march.Known(*knownName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "marchdiag: unknown test %q (known: %s)\n",
 				*knownName, strings.Join(march.KnownNames(), ", "))
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 		test = kt.Test
 	}
 	models, err := fault.ParseList(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 	dict, truncated, err := diag.BuildWorkersCtx(ctx, test, models, soft, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchdiag:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 	if truncated {
 		fmt.Fprintln(os.Stderr, "marchdiag: soft budget spent — dictionary is truncated; omitted instances cannot be ruled out")
@@ -97,7 +108,7 @@ func main() {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "marchdiag: bad syndrome entry %q\n", part)
-				os.Exit(budget.ExitUsage)
+				return budget.ExitUsage
 			}
 			s = append(s, v)
 		}
@@ -105,9 +116,9 @@ func main() {
 		if len(cands) == 0 {
 			fmt.Println("no modelled fault is consistent with this syndrome")
 			if truncated {
-				os.Exit(budget.ExitDegraded)
+				return budget.ExitDegraded
 			}
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 		fmt.Printf("syndrome {%s} is consistent with: %s\n", s.Key(), strings.Join(cands, ", "))
 	case *classes:
@@ -119,6 +130,7 @@ func main() {
 		fmt.Print(dict)
 	}
 	if truncated {
-		os.Exit(budget.ExitDegraded)
+		return budget.ExitDegraded
 	}
+	return budget.ExitOK
 }

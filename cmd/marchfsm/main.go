@@ -14,14 +14,25 @@ import (
 
 	"marchgen/fault"
 	"marchgen/fsm"
+	"marchgen/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	good := flag.Bool("good", false, "emit the fault-free machine M0 (Figure 1)")
 	faultName := flag.String("fault", "", "emit a faulty machine for this fault model")
 	instance := flag.Int("instance", -1, "instance index within the model (-1 = merge all deviations as in Figure 2)")
 	patterns := flag.Bool("patterns", false, "print the model's BFE test patterns instead of DOT")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	_, finish, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchfsm:", err)
+		return 2
+	}
+	defer finish()
 
 	switch {
 	case *good:
@@ -30,7 +41,7 @@ func main() {
 		m, err := fault.Parse(*faultName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchfsm:", err)
-			os.Exit(1)
+			return 1
 		}
 		if *patterns {
 			for _, inst := range m.Instances {
@@ -38,15 +49,15 @@ func main() {
 					fmt.Printf("%-28s %s\n", inst.Name, b.Pattern)
 				}
 			}
-			return
+			return 0
 		}
 		if *instance >= 0 {
 			if *instance >= len(m.Instances) {
 				fmt.Fprintf(os.Stderr, "marchfsm: model %s has %d instances\n", m.Name, len(m.Instances))
-				os.Exit(1)
+				return 1
 			}
 			fmt.Print(fsm.Dot(m.Instances[*instance].Machine))
-			return
+			return 0
 		}
 		// Merge every deviation-modelled instance into one machine, the
 		// way the paper's Figure 2 draws both aggressor orders of ⟨↑;0⟩.
@@ -60,11 +71,12 @@ func main() {
 		}
 		if len(devs) == 0 {
 			fmt.Fprintf(os.Stderr, "marchfsm: model %s is not deviation-modelled; pass -instance\n", m.Name)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(fsm.Dot(fsm.WithDeviations(m.Name, devs...)))
 	default:
 		fmt.Fprintln(os.Stderr, "marchfsm: pass -good or -fault NAME")
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -4,9 +4,16 @@
 //	marchgen -faults SAF,TF,ADF,CFin,CFid
 //	marchgen -faults "CFid<u,0>,CFid<u,1>" -stats -ascii
 //	marchgen -faults SAF,TF -timeout 5s -budget nodes=100000,soft=2s
+//	marchgen -faults SAF,TF -trace trace.jsonl -metrics
 //
 // The generated test is validated for complete fault coverage and
 // non-redundancy before being printed.
+//
+// Observability: -trace writes a JSONL span trace of the pipeline,
+// -chrome-trace a Chrome trace_event file, -metrics dumps the metric
+// snapshot as JSON to stderr on exit and -pprof serves net/http/pprof
+// plus expvar and /metrics on the given address. All are off by default
+// and cost nothing when off.
 //
 // Exit codes: 0 success (optimal result), 1 failure, 2 usage error,
 // 3 canceled or -timeout exceeded, 4 a soft budget ran out and the
@@ -23,9 +30,12 @@ import (
 	"marchgen"
 	"marchgen/fault"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	faults := flag.String("faults", "SAF", "comma-separated fault list (see -list)")
 	list := flag.Bool("list", false, "print the built-in fault models and exit")
 	stats := flag.Bool("stats", false, "print pipeline statistics")
@@ -35,6 +45,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft resource budget, e.g. nodes=100000,selections=16,candidates=200,soft=2s (exhaustion degrades instead of failing)")
 	workers := flag.Int("workers", 0, "worker pool size for simulation and exact ATSP (0: GOMAXPROCS); the result is identical at any count")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -42,14 +53,21 @@ func main() {
 			m, err := fault.Parse(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(budget.ExitFail)
+				return budget.ExitFail
 			}
 			fmt.Printf("%-6s %2d instances  %s\n", name, len(m.Instances), m.Description)
 		}
-		return
+		return budget.ExitOK
 	}
 
-	ctx := context.Background()
+	orun, finish, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchgen:", err)
+		return budget.ExitUsage
+	}
+	defer finish()
+
+	ctx := obs.Into(context.Background(), orun)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -58,7 +76,7 @@ func main() {
 	w, err := budget.ParseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchgen:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 	opts := []marchgen.Option{marchgen.WithWorkers(w)}
 	if *heuristic {
@@ -68,7 +86,7 @@ func main() {
 		b, err := marchgen.ParseBudget(*budgetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchgen:", err)
-			os.Exit(budget.ExitUsage)
+			return budget.ExitUsage
 		}
 		opts = append(opts, marchgen.WithBudget(b))
 	}
@@ -76,7 +94,7 @@ func main() {
 	res, err := marchgen.GenerateCtx(ctx, *faults, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchgen:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 	if *ascii {
 		fmt.Printf("%s   (%dn)\n", res.Test.ASCII(), res.Complexity)
@@ -92,7 +110,7 @@ func main() {
 		fmt.Printf("TPG nodes:       %d (optimal visit cost %d)\n", res.Stats.TPGNodes, res.Stats.PathCost)
 		fmt.Printf("candidates:      %d\n", res.Stats.Candidates)
 		fmt.Printf("elapsed:         %s\n", res.Stats.Elapsed)
-		for _, st := range []string{"expand", "atsp", "assemble", "validate", "shrink", "finalize"} {
+		for _, st := range []string{"expand", "select", "atsp", "assemble", "validate", "shrink", "fallback", "finalize"} {
 			if d, ok := res.Stats.StageElapsed[st]; ok {
 				fmt.Printf("  stage %-9s %s\n", st+":", d)
 			}
@@ -106,16 +124,17 @@ func main() {
 		rep, err := marchgen.VerifyWorkersCtx(ctx, res.Test, *faults, w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchgen: verify:", err)
-			os.Exit(budget.ExitCode(err))
+			return budget.ExitCode(err)
 		}
 		fmt.Printf("coverage: complete=%v non-redundant=%v (%d instances)\n",
 			rep.Complete, rep.NonRedundant, len(rep.Instances))
 		if !rep.Complete {
 			fmt.Printf("missed: %s\n", strings.Join(rep.Missed, ", "))
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 	}
 	if res.Stats.Degraded {
-		os.Exit(budget.ExitDegraded)
+		return budget.ExitDegraded
 	}
+	return budget.ExitOK
 }

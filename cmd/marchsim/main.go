@@ -23,10 +23,13 @@ import (
 
 	"marchgen"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 	"marchgen/march"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	testStr := flag.String("test", "", "March test in conventional notation")
 	knownName := flag.String("known", "", "name of a classic March test (see -list)")
 	list := flag.Bool("list", false, "print the classic March test library and exit")
@@ -36,6 +39,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "hard deadline; past it the run aborts (0: none)")
 	budgetSpec := flag.String("budget", "", "soft budget, e.g. soft=2s: past the soft deadline the optional n-cell re-validation is skipped")
 	workers := flag.Int("workers", 0, "worker pool size for the per-fault simulation (0: GOMAXPROCS); the report is identical at any count")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -43,10 +47,17 @@ func main() {
 			kt, _ := march.Known(name)
 			fmt.Printf("%-8s %2dn  %-52s %s\n", name, kt.Complexity, kt.Test, kt.Source)
 		}
-		return
+		return budget.ExitOK
 	}
 
-	ctx := context.Background()
+	orun, finish, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		return budget.ExitUsage
+	}
+	defer finish()
+
+	ctx := obs.Into(context.Background(), orun)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -57,14 +68,14 @@ func main() {
 		b, err := marchgen.ParseBudget(*budgetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(budget.ExitCode(err))
+			return budget.ExitCode(err)
 		}
 		soft = b.Deadline
 	}
 	w, err := budget.ParseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchsim:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 
 	var test *march.Test
@@ -74,7 +85,7 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "marchsim: unknown test %q (known: %s)\n",
 				*knownName, strings.Join(march.KnownNames(), ", "))
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 		test = kt.Test
 	case *testStr != "":
@@ -82,17 +93,17 @@ func main() {
 		test, err = march.Parse(*testStr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "marchsim:", err)
-			os.Exit(budget.ExitFail)
+			return budget.ExitFail
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "marchsim: pass -test or -known (or -list)")
-		os.Exit(budget.ExitUsage)
+		return budget.ExitUsage
 	}
 
 	rep, err := marchgen.VerifyWorkersCtx(ctx, test, *faults, w)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchsim:", err)
-		os.Exit(budget.ExitCode(err))
+		return budget.ExitCode(err)
 	}
 	fmt.Printf("test:      %s   (%dn)\n", rep.Test, rep.Complexity)
 	fmt.Printf("faults:    %s (%d instances)\n", *faults, len(rep.Instances))
@@ -127,19 +138,20 @@ func main() {
 			nrep, err := marchgen.VerifyNWorkersCtx(ctx, test, *faults, *cells, w)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "marchsim:", err)
-				os.Exit(budget.ExitCode(err))
+				return budget.ExitCode(err)
 			}
 			fmt.Printf("n-cell engine (%d cells): complete=%v\n", *cells, nrep.Complete)
 			if nrep.Complete != rep.Complete {
 				fmt.Fprintln(os.Stderr, "marchsim: engines disagree — please report a bug")
-				os.Exit(budget.ExitFail)
+				return budget.ExitFail
 			}
 		}
 	}
 	if !rep.Complete {
-		os.Exit(budget.ExitFail)
+		return budget.ExitFail
 	}
 	if degraded {
-		os.Exit(budget.ExitDegraded)
+		return budget.ExitDegraded
 	}
+	return budget.ExitOK
 }

@@ -4,34 +4,53 @@
 //	marchtable                # print Table 3, Figure 4 and the comparisons
 //	marchtable -write         # rewrite EXPERIMENTS.md in the repo root
 //	marchtable -write -deep   # include the ~20 s optimality certifications
+//	marchtable -trace report.jsonl -pprof localhost:6060
+//
+// Observability: -trace/-chrome-trace/-metrics/-pprof observe the whole
+// report regeneration (every table row's generation pipeline is spanned);
+// see cmd/marchgen for the flag semantics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"marchgen/internal/experiments"
+	"marchgen/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	write := flag.Bool("write", false, "rewrite EXPERIMENTS.md instead of printing to stdout")
 	out := flag.String("o", "EXPERIMENTS.md", "output path used with -write")
 	deep := flag.Bool("deep", false, "include the heavyweight branch-and-bound certifications")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	body, err := experiments.Report(*deep)
+	orun, finish, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchtable:", err)
-		os.Exit(1)
+		return 2
+	}
+	defer finish()
+
+	ctx := obs.Into(context.Background(), orun)
+	body, err := experiments.ReportCtx(ctx, *deep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchtable:", err)
+		return 1
 	}
 	if !*write {
 		fmt.Print(body)
-		return
+		return 0
 	}
 	if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "marchtable:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("wrote", *out)
+	return 0
 }

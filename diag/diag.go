@@ -25,6 +25,7 @@ import (
 
 	"marchgen/fault"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 	"marchgen/internal/pool"
 	"marchgen/internal/sim"
 	"marchgen/march"
@@ -107,6 +108,16 @@ func BuildWorkersCtx(ctx context.Context, t *march.Test, models []fault.Model, s
 	d.add(GoodName, Syndrome(nil))
 	truncated := false
 	insts := fault.Instances(models)
+	run := obs.From(ctx)
+	sp := run.StartUnder("diag/build").SetInt("instances", int64(len(insts)))
+	defer func() {
+		if truncated {
+			sp.SetInt("truncated", 1)
+		}
+		sp.SetInt("syndromes", int64(len(d.bySyndrome))).End()
+		run.Counter("diag.instances").Add(int64(len(insts)))
+		run.Counter("diag.builds").Inc()
+	}()
 	workers = pool.Size(workers)
 	batch := 1
 	if workers > 1 {
@@ -121,7 +132,7 @@ func BuildWorkersCtx(ctx context.Context, t *march.Test, models []fault.Model, s
 			break
 		}
 		hi := min(lo+batch, len(insts))
-		perInst, err := pool.Map(workers, hi-lo, func(i int) ([]sim.Run, error) {
+		perInst, err := pool.MapCtx(ctx, workers, hi-lo, func(i int) ([]sim.Run, error) {
 			return sim.Runs(t, insts[lo+i])
 		})
 		if err != nil {

@@ -2,6 +2,7 @@ package marchgen
 
 import (
 	"context"
+	"io"
 	"runtime/debug"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"marchgen/internal/core"
 	"marchgen/internal/gts"
 	"marchgen/internal/memo"
+	"marchgen/internal/obs"
 	"marchgen/march"
 )
 
@@ -66,6 +68,33 @@ func WithoutCache() Option {
 	return func(o *core.Options) { o.Cache = nil }
 }
 
+// ensureObs attaches an observability run to the call's options, creating
+// one on first use so WithMetrics and WithTrace compose.
+func ensureObs(o *core.Options) *obs.Run {
+	if o.Obs == nil {
+		o.Obs = obs.NewRun()
+	}
+	return o.Obs
+}
+
+// WithMetrics enables the observability layer for this call: the pipeline
+// records counters, gauges and histograms (per-stage time, ATSP node
+// counts, memo hits, pool utilisation, coverage-matrix fill) and the final
+// snapshot is returned in Stats.Metrics. Observation is off by default and
+// costs nothing when off.
+func WithMetrics() Option {
+	return func(o *core.Options) { ensureObs(o) }
+}
+
+// WithTrace additionally streams the call's hierarchical span trace to w
+// as JSON Lines, one event per line in span-sequence order, flushed when
+// generation returns (see internal/obs for the schema). Span names and
+// attributes are deterministic for a given fault list and options at one
+// worker; timestamps and durations vary run to run. Implies WithMetrics.
+func WithTrace(w io.Writer) Option {
+	return func(o *core.Options) { ensureObs(o).DeferTrace(w) }
+}
+
 // ResetCache drops every entry of the process-wide memo cache that backs
 // unbudgeted Generate calls. Cached and fresh results are byte-identical,
 // so this only affects timing — it exists for cold-cache benchmarks.
@@ -74,6 +103,23 @@ func ResetCache() { memo.Shared().Reset() }
 // CacheStats reports the cumulative hit/miss counters of the process-wide
 // memo cache since the last ResetCache.
 func CacheStats() (hits, misses uint64) { return memo.Shared().Stats() }
+
+// CacheInfo is a point-in-time snapshot of the process-wide memo cache.
+type CacheInfo struct {
+	// Hits and Misses count lookups since the last ResetCache.
+	Hits, Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current number of cached entries.
+	Entries int
+}
+
+// CacheSnapshot reports the process-wide memo cache counters atomically
+// (one lock acquisition), including evictions and the live entry count.
+func CacheSnapshot() CacheInfo {
+	s := memo.Shared().Snapshot()
+	return CacheInfo{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+}
 
 // Stats reports the pipeline effort behind a generated test.
 type Stats struct {
@@ -103,11 +149,19 @@ type Stats struct {
 	// short), "shrink" (redundancy elimination stopped early),
 	// "fallback" (the bounded fallback search ran out of budget).
 	DegradedStages []string
-	// StageElapsed is the wall-clock time per pipeline stage: "expand",
-	// "atsp", "assemble", "validate", "shrink", "finalize".
+	// StageElapsed is the wall-clock time per pipeline stage — "expand",
+	// "select", "atsp", "assemble", "validate", "shrink", "fallback",
+	// "finalize" — measured at stage boundaries on the monotonic clock, so
+	// the entries are non-overlapping windows that partition the run (a
+	// stage absent from the map never ran). Values sum to at most Elapsed.
 	StageElapsed map[string]time.Duration
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
+	// Metrics is the observability snapshot of the run — counters, gauges
+	// and flattened histograms keyed by metric name (see the package
+	// documentation of internal/obs for the naming scheme). Nil unless the
+	// call enabled observation with WithMetrics or WithTrace.
+	Metrics map[string]int64
 }
 
 // Result is a generated March test.
@@ -167,6 +221,11 @@ func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option
 	for _, opt := range opts {
 		opt(&options)
 	}
+	if options.Obs != nil {
+		// Flush any trace sink bound by WithTrace; a write failure loses
+		// the trace, never the result.
+		defer func() { _ = options.Obs.Flush() }()
+	}
 	cres, err := core.GenerateCtx(ctx, models, options)
 	if err != nil {
 		return nil, err
@@ -187,6 +246,7 @@ func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option
 			DegradedStages: cres.DegradedStages,
 			StageElapsed:   cres.StageElapsed,
 			Elapsed:        cres.Elapsed,
+			Metrics:        cres.Metrics,
 		},
 	}, nil
 }

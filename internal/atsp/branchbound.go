@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // BranchBound solves the cyclic ATSP exactly by depth-first branch and
@@ -32,6 +33,16 @@ func BranchBoundMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	for i := 0; i < n; i++ {
 		work[i][i] = Inf
 	}
+	// Local plain-int counters keep the search loop free of atomics; they
+	// flush to the run's metrics (and the span) once at the end.
+	run := obs.From(mt.Context())
+	expanded, pruned := 0, 0
+	sp := run.StartUnder("atsp/branchbound").SetInt("n", int64(n))
+	defer func() {
+		sp.SetInt("expanded", int64(expanded)).SetInt("pruned", int64(pruned)).End()
+		run.Counter("atsp.bb.expanded").Add(int64(expanded))
+		run.Counter("atsp.bb.pruned").Add(int64(pruned))
+	}()
 	// Heuristic upper bound primes the pruning.
 	best := []int(nil)
 	bestCost := Inf
@@ -49,8 +60,10 @@ func BranchBoundMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 			searchErr = err
 			return
 		}
+		expanded++
 		rowToCol, lb := assignment(w)
 		if lb >= bestCost || lb >= Inf {
+			pruned++
 			return
 		}
 		cycle := shortestSubtour(rowToCol)

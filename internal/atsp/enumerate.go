@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // OptimalPaths enumerates open paths of exactly the optimal cost (the same
@@ -125,6 +126,14 @@ func OptimalPathsWorkers(mt *budget.Meter, m Matrix, startCost []int, limit, wor
 		}
 	}
 	rec(0)
+	if run := obs.From(mt.Context()); run != nil {
+		run.Counter("atsp.enum.nodes").Add(int64(nodes))
+		run.StartUnder("atsp/enumerate").
+			SetInt("n", int64(n)).
+			SetInt("nodes", int64(nodes)).
+			SetInt("paths", int64(len(paths))).
+			End()
+	}
 	if recErr != nil {
 		return nil, 0, recErr
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // heldKarpLimit bounds the O(n²·2ⁿ) dynamic program.
@@ -30,6 +31,13 @@ func HeldKarpMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if n > heldKarpLimit {
 		return nil, 0, fmt.Errorf("atsp: Held–Karp limited to %d nodes, got %d", heldKarpLimit, n)
 	}
+	run := obs.From(mt.Context())
+	states := 0
+	sp := run.StartUnder("atsp/heldkarp").SetInt("n", int64(n))
+	defer func() {
+		sp.SetInt("states", int64(states)).End()
+		run.Counter("atsp.heldkarp.states").Add(int64(states))
+	}()
 	// dp[mask][v]: cheapest cost of starting at 0, visiting exactly the
 	// nodes of mask (which always contains 0 and v), ending at v.
 	size := 1 << n
@@ -55,6 +63,7 @@ func HeldKarpMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 			if err := mt.Node(); err != nil {
 				return nil, 0, err
 			}
+			states++
 			for w := 1; w < n; w++ {
 				if mask&(1<<w) != 0 {
 					continue

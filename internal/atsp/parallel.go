@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // unset is the incumbent sentinel before any feasible tour is known. It is
@@ -48,6 +49,10 @@ func BranchBoundWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, er
 	for i := 0; i < n; i++ {
 		work[i][i] = Inf
 	}
+	run := obs.From(mt.Context())
+	sp := run.StartUnder("atsp/branchbound").
+		SetInt("n", int64(n)).
+		SetInt("workers", int64(workers))
 	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers)}
 	s.bound.Store(unset)
 	if tour, cost := bestHeuristic(m); validTour(n, tour) && cost < Inf {
@@ -65,6 +70,12 @@ func BranchBoundWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, er
 		}(w)
 	}
 	wg.Wait()
+	// Aggregated work-stealing totals are schedule-dependent, so they go
+	// to the metrics registry only — span attributes stay deterministic.
+	run.Counter("atsp.bb.expanded").Add(s.expanded.Load())
+	run.Counter("atsp.bb.pruned").Add(s.pruned.Load())
+	run.Counter("atsp.bb.steals").Add(s.steals.Load())
+	sp.End()
 	if err := s.failure(); err != nil {
 		return nil, 0, err
 	}
@@ -93,6 +104,13 @@ type bbShared struct {
 	stop  atomic.Bool
 	errMu sync.Mutex
 	err   error
+
+	// expanded/pruned/steals aggregate the workers' search effort for
+	// the observability metrics; each worker accumulates locally and
+	// flushes once on exit, so the hot loop stays free of shared writes.
+	expanded atomic.Int64
+	pruned   atomic.Int64
+	steals   atomic.Int64
 }
 
 // bbQueue is one worker's deque of open subproblems: the owner pushes and
@@ -164,8 +182,15 @@ func (s *bbShared) offer(cycle []int) {
 }
 
 // worker drains its own deque depth-first and steals from its peers when
-// empty, exiting when every open subproblem has been expanded.
+// empty, exiting when every open subproblem has been expanded. Search
+// effort is counted in locals and flushed to the shared totals once.
 func (s *bbShared) worker(id int) {
+	var expanded, pruned, steals int64
+	defer func() {
+		s.expanded.Add(expanded)
+		s.pruned.Add(pruned)
+		s.steals.Add(steals)
+	}()
 	for {
 		if s.stop.Load() {
 			return
@@ -175,6 +200,9 @@ func (s *bbShared) worker(id int) {
 			for k := 1; k < len(s.queues) && !ok; k++ {
 				w, ok = s.queues[(id+k)%len(s.queues)].steal()
 			}
+			if ok {
+				steals++
+			}
 		}
 		if !ok {
 			if s.outstanding.Load() == 0 {
@@ -183,7 +211,7 @@ func (s *bbShared) worker(id int) {
 			runtime.Gosched()
 			continue
 		}
-		s.expand(id, w)
+		s.expand(id, w, &expanded, &pruned)
 		s.outstanding.Add(-1)
 	}
 }
@@ -191,13 +219,15 @@ func (s *bbShared) worker(id int) {
 // expand processes one subproblem: bound it by the assignment relaxation,
 // record it when it is a feasible tour, otherwise branch on the shortest
 // subtour exactly as the sequential solver does (CDT scheme).
-func (s *bbShared) expand(id int, w Matrix) {
+func (s *bbShared) expand(id int, w Matrix, expanded, pruned *int64) {
 	if err := s.mt.Node(); err != nil {
 		s.fail(err)
 		return
 	}
+	*expanded++
 	rowToCol, lb := assignment(w)
 	if int64(lb) >= s.bound.Load() || lb >= Inf {
+		*pruned++
 		return
 	}
 	cycle := shortestSubtour(rowToCol)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // Path finds a minimum-cost open path visiting every node exactly once —
@@ -72,7 +73,11 @@ func PathWorkers(mt *budget.Meter, m Matrix, startCost []int, exact bool, worker
 			return nil, 0, err
 		}
 	} else {
+		// The heuristic layer is the degradation target; a span here makes
+		// an atsp downgrade visible in the trace.
+		sp := obs.From(mt.Context()).StartUnder("atsp/heuristic").SetInt("n", int64(n))
 		tour, cost = bestHeuristic(ext)
+		sp.SetInt("cost", int64(cost)).End()
 	}
 	// Rotate so the dummy leads, then drop it.
 	var at int

@@ -8,6 +8,7 @@ import (
 	"marchgen/fault"
 	"marchgen/fsm"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
@@ -50,6 +51,14 @@ func BranchBound(instances []fault.Instance, maxOps int) (*march.Test, Stats, er
 func BranchBoundMeter(mt *budget.Meter, instances []fault.Instance, maxOps int) (*march.Test, Stats, error) {
 	start := time.Now()
 	stats := Stats{}
+	run := obs.From(mt.Context())
+	sp := run.StartUnder("baseline/branchbound").
+		SetInt("instances", int64(len(instances))).
+		SetInt("max_ops", int64(maxOps))
+	defer func() {
+		sp.SetInt("nodes", int64(stats.Nodes)).End()
+		run.Counter("baseline.nodes").Add(int64(stats.Nodes))
+	}()
 	machines := make([]fsm.Machine, len(instances))
 	for k, inst := range instances {
 		machines[k] = inst.Machine

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"marchgen/fault"
@@ -31,6 +32,7 @@ import (
 	"marchgen/internal/budget"
 	"marchgen/internal/gts"
 	"marchgen/internal/memo"
+	"marchgen/internal/obs"
 	"marchgen/internal/sim"
 	"marchgen/internal/tpg"
 	"marchgen/march"
@@ -75,6 +77,13 @@ type Options struct {
 	// semantics must stay reproducible rather than depend on what some
 	// earlier run left behind.
 	Cache *memo.Cache
+	// Obs, when non-nil, observes the run: the pipeline records
+	// hierarchical spans and metrics into it (see internal/obs), and the
+	// Result carries the flattened metric snapshot. When nil, the run
+	// picks up an observability run attached to the context (obs.From)
+	// instead; with neither, instrumentation is entirely off and costs a
+	// nil check per site.
+	Obs *obs.Run
 }
 
 // DefaultOptions returns the options used by the published experiments.
@@ -118,10 +127,18 @@ type Result struct {
 	// are byte-identical to the run that produced them.
 	FromCache bool
 	// StageElapsed is the wall-clock time per pipeline stage ("expand",
-	// "atsp", "assemble", "validate", "shrink", "finalize").
+	// "select", "atsp", "assemble", "validate", "shrink", "fallback",
+	// "finalize"). The windows are measured at stage boundaries and
+	// partition the run's wall time: they never overlap, and a degraded
+	// or cancelled stage still reports the window it actually occupied.
 	StageElapsed map[string]time.Duration
 	// Elapsed is the wall-clock generation time.
 	Elapsed time.Duration
+	// Metrics is the flattened observability snapshot of the run
+	// (counters, gauges and histogram summaries by metric name). Nil
+	// unless the run was observed (Options.Obs or an obs.Run on the
+	// context).
+	Metrics map[string]int64
 	// Coverage is the final validation report.
 	Coverage sim.Coverage
 }
@@ -140,7 +157,7 @@ func Generate(models []fault.Model, opts Options) (*Result, error) {
 // early — and the result, still simulator-validated complete, is marked
 // Degraded. Only when a budget runs out before any valid candidate exists
 // does the run fail, with budget.ErrBudgetExhausted.
-func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Result, error) {
+func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Result, err error) {
 	start := time.Now()
 	if opts.SelectionLimit <= 0 {
 		opts.SelectionLimit = 64
@@ -156,11 +173,64 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	if !opts.Budget.Unlimited() {
 		cache = nil // budgeted runs bypass the cache (see Options.Cache)
 	}
+	// The observability run travels both ways: an explicit Options.Obs is
+	// injected into the context (before the meter captures it) so every
+	// layer below sees it, and a run already on the context is adopted.
+	run := opts.Obs
+	if run != nil {
+		ctx = obs.Into(ctx, run)
+	} else {
+		run = obs.From(ctx)
+	}
 	m := budget.NewMeter(ctx, opts.Budget)
 	if err := m.CheckNow(); err != nil {
 		return nil, err
 	}
-	res := &Result{StageElapsed: map[string]time.Duration{}}
+	res := &Result{}
+	root := run.Start("generate")
+	stages := obs.NewStages(run, root, "generate/")
+	var memo0 memo.CacheStats
+	if run != nil && cache != nil {
+		memo0 = cache.Snapshot()
+	}
+	defer func() {
+		stages.Close()
+		res.StageElapsed = stages.Elapsed()
+		res.Elapsed = time.Since(start)
+		if run == nil {
+			return
+		}
+		if cache != nil {
+			// Per-run deltas: the cache may be process-wide, so absolute
+			// counters would mix in other runs' traffic.
+			s := cache.Snapshot()
+			run.Counter("memo.hits").Add(int64(s.Hits - memo0.Hits))
+			run.Counter("memo.misses").Add(int64(s.Misses - memo0.Misses))
+			run.Counter("memo.evictions").Add(int64(s.Evictions - memo0.Evictions))
+		}
+		run.Counter("generate.elapsed_ns").Add(int64(res.Elapsed))
+		run.Counter("budget.atsp_nodes").Add(int64(m.Nodes()))
+		root.SetInt("classes", int64(res.Classes)).
+			SetInt("selections", int64(res.Selections)).
+			SetInt("candidates", int64(res.Candidates))
+		if res.Degraded {
+			root.SetStr("degraded", strings.Join(res.DegradedStages, ","))
+		}
+		if res.FromCache {
+			root.SetInt("cached", 1)
+		}
+		switch {
+		case err != nil:
+			root.SetStr("outcome", "error")
+		case res.UsedFallback:
+			root.SetStr("outcome", "fallback")
+		default:
+			root.SetStr("outcome", "ok")
+			root.SetInt("complexity", int64(res.Complexity))
+		}
+		root.End()
+		res.Metrics = run.Snapshot()
+	}()
 	degrade := func(stage string) {
 		res.Degraded = true
 		for _, s := range res.DegradedStages {
@@ -169,10 +239,10 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 			}
 		}
 		res.DegradedStages = append(res.DegradedStages, stage)
+		run.Counter("generate.degraded." + stage).Inc()
 	}
-	stage := func(name string, t0 time.Time) { res.StageElapsed[name] += time.Since(t0) }
 
-	t0 := time.Now()
+	stages.Enter("expand")
 	instances := fault.Instances(models)
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("core: empty fault list")
@@ -182,7 +252,10 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	if cache != nil {
 		resKey = resultKey(faultKey, opts)
 		if v, ok := cache.Get(resKey); ok {
-			return v.(*cachedResult).result(start, instances), nil
+			run.Counter("memo.result_hits").Inc()
+			cached := v.(*cachedResult).result(start, instances)
+			res = cached
+			return cached, nil
 		}
 	}
 	classes := tpg.Classes(instances)
@@ -190,7 +263,6 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 		classes = splitClasses(classes)
 	}
 	selections := tpg.Selections(classes, opts.SelectionLimit)
-	stage("expand", t0)
 	if err := m.CheckNow(); err != nil {
 		return nil, err
 	}
@@ -203,13 +275,14 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	res.Classes = len(classes)
 	res.Selections = len(selections)
 	gen := &genContext{
-		ctx:       ctx,
-		instances: instances,
-		faultKey:  faultKey,
-		verdict:   map[string]bool{},
-		meter:     m,
-		workers:   workers,
-		cache:     cache,
+		ctx:         ctx,
+		instances:   instances,
+		faultKey:    faultKey,
+		verdict:     map[string]bool{},
+		meter:       m,
+		workers:     workers,
+		cache:       cache,
+		verdictHits: run.Counter("memo.verdict_hits"),
 	}
 	var best *march.Test
 	var lastErr error
@@ -217,6 +290,7 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (*Resu
 	seenNodeSets := map[string]bool{}
 search:
 	for _, sel := range selections {
+		stages.Enter("select")
 		if err := m.CheckNow(); err != nil {
 			return nil, err
 		}
@@ -233,9 +307,8 @@ search:
 			continue // different selections can reduce to the same TPG
 		}
 		seenNodeSets[nodeSig] = true
-		t0 = time.Now()
+		stages.Enter("atsp")
 		patterns, cost, err := orderPatterns(m, nodes, opts.Exact, workers, cache, degrade)
-		stage("atsp", t0)
 		if err != nil {
 			if budget.IsHard(err) {
 				return nil, err
@@ -250,9 +323,8 @@ search:
 			} else {
 				seenOrder[sig] = true
 			}
-			t0 = time.Now()
+			stages.Enter("assemble")
 			cands, err := gts.AssembleMeter(m, ordered, opts.Beam)
-			stage("assemble", t0)
 			if err != nil {
 				if budget.IsHard(err) {
 					return nil, err
@@ -269,9 +341,8 @@ search:
 				if best != nil && cand.Complexity() >= best.Complexity()+2 {
 					continue // too long to beat the incumbent even after shrinking
 				}
-				t0 = time.Now()
+				stages.Enter("validate")
 				ok := gen.complete(cand)
-				stage("validate", t0)
 				if gen.err != nil {
 					return nil, gen.err
 				}
@@ -279,9 +350,8 @@ search:
 					continue
 				}
 				if !opts.DisableShrink {
-					t0 = time.Now()
+					stages.Enter("shrink")
 					cand = gen.shrink(cand)
-					stage("shrink", t0)
 					if gen.err != nil {
 						return nil, gen.err
 					}
@@ -297,6 +367,7 @@ search:
 		degrade("shrink")
 	}
 	if best == nil && !opts.DisableFallback {
+		stages.Enter("fallback")
 		fb, err := fallbackSearch(m, instances, opts, degrade)
 		if err != nil {
 			return nil, err
@@ -313,7 +384,7 @@ search:
 		}
 		return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes): %w", len(classes), budget.ErrUnsupportedFault)
 	}
-	t0 = time.Now()
+	stages.Enter("finalize")
 	best = gen.relaxOrders(best)
 	if gen.err != nil {
 		return nil, gen.err
@@ -325,13 +396,11 @@ search:
 	if !cov.Complete() {
 		return nil, fmt.Errorf("core: internal error: final test lost coverage")
 	}
-	stage("finalize", t0)
 	res.Test = best
 	res.Complexity = best.Complexity()
 	res.Nodes = bestNodes
 	res.PathCost = bestCost
 	res.Coverage = cov
-	res.Elapsed = time.Since(start)
 	if cache != nil && !res.Degraded {
 		cache.Put(resKey, &cachedResult{
 			test:         best.Clone(),
@@ -498,6 +567,7 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, c
 			f.Ints(starts)
 			key = f.Key()
 			if v, ok := cache.Get(key); ok {
+				obs.From(m.Context()).Counter("memo.tour_hits").Inc()
 				frag := v.(*tourFragment)
 				paths, cost = frag.paths, frag.cost
 			}
@@ -556,6 +626,9 @@ type genContext struct {
 	// cache, when non-nil, shares completeness verdicts across Generate
 	// calls (the run-local verdict map still deduplicates within a run).
 	cache *memo.Cache
+	// verdictHits counts shared-cache verdict hits in the run's metrics
+	// (nil when the run is unobserved — the counter is nil-safe).
+	verdictHits *obs.Counter
 	// err is the first hard-cancellation error observed mid-validation.
 	err error
 	// softStopped records that shrinking stopped early on the soft
@@ -582,6 +655,7 @@ func (g *genContext) complete(t *march.Test) bool {
 	if g.cache != nil {
 		key = memo.NewFingerprinter("verdict").Str(g.faultKey).Str(sig).Key()
 		if v, ok := g.cache.Get(key); ok {
+			g.verdictHits.Inc()
 			g.verdict[sig] = v.(bool)
 			return v.(bool)
 		}

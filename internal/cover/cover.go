@@ -13,11 +13,13 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"marchgen/fault"
 	"marchgen/internal/memo"
+	"marchgen/internal/obs"
 	"marchgen/internal/pool"
 	"marchgen/internal/sim"
 	"marchgen/march"
@@ -37,7 +39,7 @@ type Matrix struct {
 // It fails when some fault condition has no mismatching read at all — the
 // matrix is only meaningful for complete tests.
 func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
-	return BuildWorkers(t, instances, 1, nil)
+	return BuildWorkers(context.Background(), t, instances, 1, nil)
 }
 
 // Clone deep-copies the matrix, so cached matrices can be handed out
@@ -63,20 +65,28 @@ func matrixKey(t *march.Test, instances []fault.Instance) string {
 // over a bounded worker pool (workers <= 0: GOMAXPROCS) and, when cache is
 // non-nil, memoised under the canonical (test, fault list) fingerprint.
 // Columns are assembled in instance order, so the matrix is byte-identical
-// to the sequential build at any worker count, warm or cold.
-func BuildWorkers(t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Matrix, error) {
+// to the sequential build at any worker count, warm or cold. The context
+// carries the observability run (when one is attached): the build gets a
+// verify/cover span and the matrix shape lands in the run's metrics.
+func BuildWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Matrix, error) {
+	run := obs.From(ctx)
+	sp := run.StartUnder("verify/cover").SetInt("instances", int64(len(instances)))
 	var key string
 	if cache != nil {
 		key = matrixKey(t, instances)
 		if v, ok := cache.Get(key); ok {
-			return v.(*Matrix).Clone(), nil
+			run.Counter("memo.matrix_hits").Inc()
+			m := v.(*Matrix).Clone()
+			sp.SetInt("cached", 1)
+			observeMatrix(run, sp, m)
+			return m, nil
 		}
 	}
 	type column struct {
 		label string
 		ops   []int
 	}
-	perInstance, err := pool.Map(workers, len(instances), func(i int) ([]column, error) {
+	perInstance, err := pool.MapCtx(ctx, workers, len(instances), func(i int) ([]column, error) {
 		inst := instances[i]
 		runs, err := sim.Runs(t, inst)
 		if err != nil {
@@ -95,6 +105,7 @@ func BuildWorkers(t *march.Test, instances []fault.Instance, workers int, cache 
 		return cols, nil
 	})
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	var cols []column
@@ -129,7 +140,36 @@ func BuildWorkers(t *march.Test, instances []fault.Instance, workers int, cache 
 	if cache != nil {
 		cache.Put(key, m.Clone())
 	}
+	observeMatrix(run, sp, m)
 	return m, nil
+}
+
+// observeMatrix records the matrix shape and fill rate (set cells per
+// thousand) on the span and in the metrics, then ends the span. The
+// O(rows·cols) fill scan only runs when observation is on.
+func observeMatrix(run *obs.Run, sp *obs.Span, m *Matrix) {
+	if run == nil {
+		return
+	}
+	set := 0
+	for r := range m.Cell {
+		for c := range m.Cell[r] {
+			if m.Cell[r][c] {
+				set++
+			}
+		}
+	}
+	permille := int64(0)
+	if total := len(m.Rows) * len(m.Cols); total > 0 {
+		permille = int64(set) * 1000 / int64(total)
+	}
+	run.Counter("cover.rows").Add(int64(len(m.Rows)))
+	run.Counter("cover.cols").Add(int64(len(m.Cols)))
+	run.Histogram("cover.fill_permille").Observe(permille)
+	sp.SetInt("rows", int64(len(m.Rows))).
+		SetInt("cols", int64(len(m.Cols))).
+		SetInt("fill_permille", permille).
+		End()
 }
 
 // Greedy returns a feasible cover by repeatedly picking the row covering
@@ -251,15 +291,15 @@ type Report struct {
 
 // Analyze runs the full Section 6 check on a test against a fault list.
 func Analyze(t *march.Test, instances []fault.Instance) (*Report, error) {
-	return AnalyzeWorkers(t, instances, 1, nil)
+	return AnalyzeWorkers(context.Background(), t, instances, 1, nil)
 }
 
 // AnalyzeWorkers is Analyze on the parallel engine: matrix rows and the
 // op-level removability audit fan out over a bounded worker pool, and a
 // non-nil cache memoises the coverage matrix across runs. The report is
 // byte-identical to the sequential analysis at any worker count.
-func AnalyzeWorkers(t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Report, error) {
-	m, err := BuildWorkers(t, instances, workers, cache)
+func AnalyzeWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, cache *memo.Cache) (*Report, error) {
+	m, err := BuildWorkers(ctx, t, instances, workers, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +320,7 @@ func AnalyzeWorkers(t *march.Test, instances []fault.Instance, workers int, cach
 			rep.RedundantReads = append(rep.RedundantReads, m.Rows[r])
 		}
 	}
-	removable, err := RemovableOpsWorkers(t, instances, workers)
+	removable, err := RemovableOpsWorkers(ctx, t, instances, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -294,14 +334,14 @@ func AnalyzeWorkers(t *march.Test, instances []fault.Instance, workers int, cach
 // audit (stronger than the read-block set covering, since it also judges
 // writes).
 func RemovableOps(t *march.Test, instances []fault.Instance) ([]int, error) {
-	return RemovableOpsWorkers(t, instances, 1)
+	return RemovableOpsWorkers(context.Background(), t, instances, 1)
 }
 
 // RemovableOpsWorkers is RemovableOps with the per-op trial removals
 // evaluated on a bounded worker pool (each trial re-simulates the whole
 // fault list, making this the audit's hot loop). The removable set is
 // collected in flat-index order, identical at any worker count.
-func RemovableOpsWorkers(t *march.Test, instances []fault.Instance, workers int) ([]int, error) {
+func RemovableOpsWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int) ([]int, error) {
 	cov, err := sim.Evaluate(t, instances)
 	if err != nil {
 		return nil, err
@@ -316,7 +356,7 @@ func RemovableOpsWorkers(t *march.Test, instances []fault.Instance, workers int)
 			trials = append(trials, trial{e, o})
 		}
 	}
-	verdicts, err := pool.Map(workers, len(trials), func(i int) (bool, error) {
+	verdicts, err := pool.MapCtx(ctx, workers, len(trials), func(i int) (bool, error) {
 		e, o := trials[i].e, trials[i].o
 		cand := t.Clone()
 		elem := &cand.Elements[e]

@@ -9,12 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"marchgen/fault"
 	"marchgen/internal/baseline"
+	"marchgen/internal/budget"
 	"marchgen/internal/core"
 	"marchgen/internal/cover"
 	"marchgen/internal/sim"
@@ -70,17 +72,24 @@ func Table3Spec() []Spec {
 
 // Table3 regenerates the paper's Table 3.
 func Table3() ([]Table3Row, error) {
+	return Table3Ctx(context.Background())
+}
+
+// Table3Ctx is Table3 under a cancellation context; the context also
+// carries the observability run when one is attached (see internal/obs),
+// so every row's generation is traced.
+func Table3Ctx(ctx context.Context) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, spec := range table3Spec {
 		models, err := fault.ParseList(spec.Faults)
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Generate(models, core.DefaultOptions())
+		res, err := core.GenerateCtx(ctx, models, core.DefaultOptions())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", spec.Faults, err)
 		}
-		rep, err := cover.Analyze(res.Test, res.Instances)
+		rep, err := cover.AnalyzeWorkers(ctx, res.Test, res.Instances, 1, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", spec.Faults, err)
 		}
@@ -119,11 +128,16 @@ func Figure4() (*tpg.Graph, error) {
 // WorkedExample regenerates the Section 4 example: the optimal March test
 // for {⟨↑;1⟩, ⟨↑;0⟩} (the paper derives an 8n test).
 func WorkedExample() (*core.Result, error) {
+	return WorkedExampleCtx(context.Background())
+}
+
+// WorkedExampleCtx is WorkedExample under a cancellation context.
+func WorkedExampleCtx(ctx context.Context) (*core.Result, error) {
 	models, err := fault.ParseList("CFid<u,1>,CFid<u,0>")
 	if err != nil {
 		return nil, err
 	}
-	return core.Generate(models, core.DefaultOptions())
+	return core.GenerateCtx(ctx, models, core.DefaultOptions())
 }
 
 // ComparisonRow is one row of the efficiency comparison between the
@@ -148,6 +162,11 @@ type ComparisonRow struct {
 // prior-art baselines. With deep=false the heaviest searches are skipped
 // (marked ExSkipped) so the comparison stays laptop-fast.
 func Comparison(deep bool) ([]ComparisonRow, error) {
+	return ComparisonCtx(context.Background(), deep)
+}
+
+// ComparisonCtx is Comparison under a cancellation context.
+func ComparisonCtx(ctx context.Context, deep bool) ([]ComparisonRow, error) {
 	specs := []struct {
 		faults     string
 		cap        int
@@ -171,7 +190,7 @@ func Comparison(deep bool) ([]ComparisonRow, error) {
 			return nil, err
 		}
 		instances := fault.Instances(models)
-		res, err := core.Generate(models, core.DefaultOptions())
+		res, err := core.GenerateCtx(ctx, models, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +199,10 @@ func Comparison(deep bool) ([]ComparisonRow, error) {
 			CoreComplexity: res.Complexity,
 			CoreTime:       res.Elapsed,
 		}
-		bbTest, bbStats, err := baseline.BranchBound(instances, spec.cap)
+		// An unbounded meter carrying ctx, so the baseline search is
+		// cancellable and lands in the observability run when one is
+		// attached.
+		bbTest, bbStats, err := baseline.BranchBoundMeter(budget.NewMeter(ctx, budget.Budget{}), instances, spec.cap)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: baseline %s: %w", spec.faults, err)
 		}
@@ -216,6 +238,12 @@ type AblationRow struct {
 // EquivalenceAblation runs the Section 5 ablation on fault lists whose
 // instances have multi-BFE equivalence classes.
 func EquivalenceAblation() ([]AblationRow, error) {
+	return EquivalenceAblationCtx(context.Background())
+}
+
+// EquivalenceAblationCtx is EquivalenceAblation under a cancellation
+// context.
+func EquivalenceAblationCtx(ctx context.Context) ([]AblationRow, error) {
 	var rows []AblationRow
 	// Address faults are excluded: their read-side alternative patterns
 	// exist only as equivalence-class options and cannot each be forced
@@ -225,13 +253,13 @@ func EquivalenceAblation() ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		with, err := core.Generate(models, core.DefaultOptions())
+		with, err := core.GenerateCtx(ctx, models, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
 		opts := core.DefaultOptions()
 		opts.DisableEquivalence = true
-		without, err := core.Generate(models, opts)
+		without, err := core.GenerateCtx(ctx, models, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"marchgen/bist"
 	"marchgen/diag"
@@ -20,6 +22,12 @@ import (
 // pitfall and the word-oriented background requirement. Everything is
 // computed live from the simulators.
 func ExtensionsReport() (string, error) {
+	return ExtensionsReportCtx(context.Background())
+}
+
+// ExtensionsReportCtx is ExtensionsReport under a cancellation context;
+// the context also carries the observability run when one is attached.
+func ExtensionsReportCtx(ctx context.Context) (string, error) {
 	var b strings.Builder
 	b.WriteString(`## Beyond the paper — extension experiments
 
@@ -36,7 +44,7 @@ simulators.
 	if err != nil {
 		return "", err
 	}
-	res, err := core.Generate([]fault.Model{lcf}, core.DefaultOptions())
+	res, err := core.GenerateCtx(ctx, []fault.Model{lcf}, core.DefaultOptions())
 	if err != nil {
 		return "", err
 	}
@@ -95,7 +103,7 @@ two-port weak faults when port B idles. The two-port generator finds
 		return "", err
 	}
 	cminus, _ := march.Known("MarchC-")
-	dict, err := diag.Build(cminus.Test, models)
+	dict, _, err := diag.BuildCtx(ctx, cminus.Test, models, time.Time{})
 	if err != nil {
 		return "", err
 	}

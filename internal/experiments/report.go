@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -41,6 +42,13 @@ func FormatFigure4() (string, error) {
 // Report generates the full EXPERIMENTS.md body from live runs. With
 // deep=true the heavyweight optimality certifications are included.
 func Report(deep bool) (string, error) {
+	return ReportCtx(context.Background(), deep)
+}
+
+// ReportCtx is Report under a cancellation context; the context also
+// carries the observability run when one is attached (see internal/obs),
+// so cmd/marchtable can trace and profile a full report regeneration.
+func ReportCtx(ctx context.Context, deep bool) (string, error) {
 	start := time.Now()
 	var b strings.Builder
 	b.WriteString(`# EXPERIMENTS — paper vs. this reproduction
@@ -63,7 +71,7 @@ certified non-redundant via the Coverage-Matrix / Set-Covering analysis
 (Section 6). The reproduced complexity matches the paper on every row.
 
 `)
-	t3, err := Table3()
+	t3, err := Table3Ctx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -109,7 +117,7 @@ the paper claims, and the branch-and-bound oracle certifies that no March
 test below 8n covers the list):
 
 `)
-	we, err := WorkedExample()
+	we, err := WorkedExampleCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -127,7 +135,7 @@ here and return provably minimal tests — at an exponentially growing cost
 the pipeline does not pay:
 
 `)
-	cmp, err := Comparison(deep)
+	cmp, err := ComparisonCtx(ctx, deep)
 	if err != nil {
 		return "", err
 	}
@@ -143,7 +151,7 @@ Grouping the BFEs of one fault into an equivalence class (pick any one
 test pattern) instead of forcing every BFE keeps the TPG small:
 
 `)
-	abl, err := EquivalenceAblation()
+	abl, err := EquivalenceAblationCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -171,7 +179,7 @@ three to four orders of magnitude faster than a cold generation; parallel
 speedup tracks the machine's core count and is ~1× on a single-CPU host.
 `)
 
-	ext, err := ExtensionsReport()
+	ext, err := ExtensionsReportCtx(ctx)
 	if err != nil {
 		return "", err
 	}

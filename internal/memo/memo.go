@@ -36,7 +36,7 @@ type Cache struct {
 	order   *list.List // front = most recently used; values are *entry
 	entries map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type entry struct {
@@ -95,6 +95,7 @@ func (c *Cache) Put(key string, val any) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*entry).key)
+		c.evictions++
 	}
 }
 
@@ -118,6 +119,26 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// CacheStats is a consistent counter snapshot of a cache: cumulative
+// hits, misses and LRU evictions since the last Reset, plus the live
+// entry count.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Snapshot returns the cache's counters and size under one lock
+// acquisition, so the fields are mutually consistent even while other
+// goroutines keep using the cache.
+func (c *Cache) Snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
 // Reset drops every entry and zeroes the hit/miss counters (cold-cache
 // measurements, tests).
 func (c *Cache) Reset() {
@@ -128,7 +149,7 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.order.Init()
 	c.entries = map[string]*list.Element{}
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // Fingerprinter accumulates canonical content into a collision-resistant

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome
+// trace_event format, loadable by chrome://tracing and Perfetto.
+// Spans map onto it directly: pid is fixed, tid is the worker index
+// (so each worker gets its own flame row), ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts finished spans to a Chrome trace_event JSON
+// array for flame-graph views. Events are emitted in sequence order.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		ce := chromeEvent{
+			Name: ev.Name,
+			Ph:   "X",
+			PID:  1,
+			TID:  ev.Worker,
+			TS:   ev.StartUS,
+			Dur:  ev.DurUS,
+			Args: ev.Attrs,
+		}
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

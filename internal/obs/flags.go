@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the shared CLI observability surface: every command binds
+// the same -trace/-chrome/-metrics/-pprof flags and drives them with
+// Start/finish, so observability behaves identically across tools.
+type Flags struct {
+	Trace   string // write a JSONL span trace to this file
+	Chrome  string // write a Chrome trace_event file to this file
+	Metrics bool   // dump the metric snapshot as JSON on exit
+	Pprof   string // serve net/http/pprof + expvar + /metrics on this address
+}
+
+// BindFlags registers the observability flags on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL span trace to `file`")
+	fs.StringVar(&f.Chrome, "chrome-trace", "", "write a Chrome trace_event file to `file` (load in chrome://tracing or Perfetto)")
+	fs.BoolVar(&f.Metrics, "metrics", false, "dump the metrics snapshot as JSON to stderr on exit")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof, expvar and /metrics on `addr` (e.g. localhost:6060)")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *Flags) Enabled() bool {
+	return f != nil && (f.Trace != "" || f.Chrome != "" || f.Metrics || f.Pprof != "")
+}
+
+// Start materialises the requested observability: returns the run to
+// thread into the pipeline (nil when nothing was requested — the whole
+// instrumentation layer then short-circuits) and a finish func that
+// flushes traces, dumps metrics to errw and stops the debug server.
+// finish is safe to call exactly once, typically via defer after
+// restructuring main as func main() { os.Exit(run()) }.
+func (f *Flags) Start(errw io.Writer) (*Run, func(), error) {
+	if !f.Enabled() {
+		return nil, func() {}, nil
+	}
+	run := NewRun()
+	var closers []func()
+	fail := func(err error) (*Run, func(), error) {
+		for _, c := range closers {
+			c()
+		}
+		return nil, nil, err
+	}
+
+	var traceFile *os.File
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("obs: create trace file: %w", err))
+		}
+		traceFile = file
+		closers = append(closers, func() { _ = file.Close() })
+		run.DeferTrace(file)
+	}
+	var stopDebug func()
+	if f.Pprof != "" {
+		addr, stop, err := run.ServeDebug(f.Pprof)
+		if err != nil {
+			return fail(fmt.Errorf("obs: pprof endpoint: %w", err))
+		}
+		stopDebug = stop
+		fmt.Fprintf(errw, "obs: debug endpoint on http://%s/debug/pprof/\n", addr)
+	}
+
+	finish := func() {
+		if err := run.Flush(); err != nil {
+			fmt.Fprintf(errw, "obs: flush trace: %v\n", err)
+		}
+		if traceFile != nil {
+			_ = traceFile.Close()
+		}
+		if f.Chrome != "" {
+			file, err := os.Create(f.Chrome)
+			if err == nil {
+				err = WriteChromeTrace(file, run.Events())
+				if cerr := file.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(errw, "obs: chrome trace: %v\n", err)
+			}
+		}
+		if f.Metrics {
+			enc := json.NewEncoder(errw)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(run.Snapshot()); err != nil {
+				fmt.Fprintf(errw, "obs: metrics dump: %v\n", err)
+			}
+		}
+		if stopDebug != nil {
+			stopDebug()
+		}
+	}
+	return run, finish, nil
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic count. All methods are
+// nil-safe no-ops, so handles resolved from a nil Run cost one branch.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Max raises the gauge to v when v exceeds the stored value.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed power-of-two bucket count of a Histogram:
+// bucket k counts observations v with bits.Len64(v) == k, i.e.
+// 2^(k-1) <= v < 2^k (bucket 0 holds v <= 0).
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram with count/sum and
+// min/max watermarks — enough resolution for latency and size
+// distributions without any allocation on the observe path.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // initialised to MaxInt64 by the registry
+	max     atomic.Int64 // initialised to MinInt64 by the registry
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+}
+
+// registry is the run's metric namespace: get-or-create by name, with a
+// read-locked fast path for the steady state.
+type registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil run yields a nil (no-op) handle.
+func (r *Run) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.RLock()
+	c := r.reg.counters[name]
+	r.reg.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	if r.reg.counters == nil {
+		r.reg.counters = map[string]*Counter{}
+	}
+	if c = r.reg.counters[name]; c == nil {
+		c = &Counter{}
+		r.reg.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Run) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.RLock()
+	g := r.reg.gauges[name]
+	r.reg.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	if r.reg.gauges == nil {
+		r.reg.gauges = map[string]*Gauge{}
+	}
+	if g = r.reg.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.reg.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Run) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.RLock()
+	h := r.reg.hists[name]
+	r.reg.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	if r.reg.hists == nil {
+		r.reg.hists = map[string]*Histogram{}
+	}
+	if h = r.reg.hists[name]; h == nil {
+		h = &Histogram{}
+		h.min.Store(math.MaxInt64)
+		h.max.Store(math.MinInt64)
+		r.reg.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric into a name → value map: counters and
+// gauges under their own names, histograms as <name>.count / .sum /
+// .min / .max, plus the recorder's own span accounting ("obs.spans",
+// "obs.spans_dropped"). The flat int64 form is what Stats.Metrics and
+// the CLI -metrics dump expose — trivially JSON-encodable and diffable.
+func (r *Run) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := map[string]int64{
+		"obs.spans":         r.rec.count.Load(),
+		"obs.spans_dropped": r.rec.dropped.Load(),
+	}
+	r.reg.mu.RLock()
+	defer r.reg.mu.RUnlock()
+	for name, c := range r.reg.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.reg.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.reg.hists {
+		n := h.count.Load()
+		out[name+".count"] = n
+		out[name+".sum"] = h.sum.Load()
+		if n > 0 {
+			out[name+".min"] = h.min.Load()
+			out[name+".max"] = h.max.Load()
+		}
+	}
+	return out
+}
+
+// MetricNames returns the snapshot's keys, sorted — convenience for
+// deterministic dumps and tests.
+func MetricNames(snapshot map[string]int64) []string {
+	names := make([]string, 0, len(snapshot))
+	for n := range snapshot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

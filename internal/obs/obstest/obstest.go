@@ -1,0 +1,146 @@
+// Package obstest validates and normalises JSONL span traces produced
+// by internal/obs. It is the schema checker behind the CI trace smoke
+// job (cmd tracecheck) and the golden-trace tests at the repository
+// root: Validate enforces the structural schema, RequireSpans checks
+// stage coverage, and Normalize strips the only nondeterministic
+// fields (timestamps) so two traces of the same run compare equal.
+package obstest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"marchgen/internal/obs"
+)
+
+// ParseTrace decodes a JSONL trace. Every line must be a single JSON
+// object; blank lines are rejected (the writer never emits them).
+func ParseTrace(r io.Reader) ([]obs.Event, error) {
+	var events []obs.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		var ev obs.Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Validate enforces the span schema over a parsed trace:
+//
+//   - names are non-empty slash-separated lowercase segments
+//   - seq values are unique and positive
+//   - every non-zero parent references a span present in the trace
+//   - no span is its own ancestor (the parent graph is acyclic)
+//   - start_us and dur_us are non-negative
+//
+// Returns nil for a valid trace, else an error naming the first
+// offending span.
+func Validate(events []obs.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	seen := make(map[uint64]uint64, len(events)) // seq -> parent
+	for _, ev := range events {
+		if err := validName(ev.Name); err != nil {
+			return fmt.Errorf("span seq %d: %w", ev.Seq, err)
+		}
+		if ev.Seq == 0 {
+			return fmt.Errorf("span %q: seq must be positive", ev.Name)
+		}
+		if _, dup := seen[ev.Seq]; dup {
+			return fmt.Errorf("span %q: duplicate seq %d", ev.Name, ev.Seq)
+		}
+		if ev.StartUS < 0 || ev.DurUS < 0 {
+			return fmt.Errorf("span %q (seq %d): negative time", ev.Name, ev.Seq)
+		}
+		if ev.Worker < 0 {
+			return fmt.Errorf("span %q (seq %d): negative worker", ev.Name, ev.Seq)
+		}
+		seen[ev.Seq] = ev.Parent
+	}
+	for _, ev := range events {
+		if ev.Parent == 0 {
+			continue
+		}
+		if _, ok := seen[ev.Parent]; !ok {
+			return fmt.Errorf("span %q (seq %d): parent %d not in trace", ev.Name, ev.Seq, ev.Parent)
+		}
+		// Walk up; a cycle would loop forever without the step bound.
+		cur, steps := ev.Parent, 0
+		for cur != 0 {
+			if steps++; steps > len(events) {
+				return fmt.Errorf("span %q (seq %d): parent cycle", ev.Name, ev.Seq)
+			}
+			cur = seen[cur]
+		}
+	}
+	return nil
+}
+
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty span name")
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "" {
+			return fmt.Errorf("name %q: empty path segment", name)
+		}
+		for _, c := range seg {
+			if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.') {
+				return fmt.Errorf("name %q: invalid character %q", name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// RequireSpans checks that every name in want occurs at least once in
+// the trace, reporting all the missing ones at once.
+func RequireSpans(events []obs.Event, want []string) error {
+	have := make(map[string]bool, len(events))
+	for _, ev := range events {
+		have[ev.Name] = true
+	}
+	var missing []string
+	for _, name := range want {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("trace missing spans: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Normalize strips the nondeterministic fields (start_us, dur_us) and
+// sorts by sequence number, leaving exactly the deterministic skeleton:
+// names, hierarchy, worker tags and attributes. Two runs of the same
+// input normalise to equal traces. The input is not modified.
+func Normalize(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(events))
+	copy(out, events)
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	for i := range out {
+		out[i].StartUS = 0
+		out[i].DurUS = 0
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package obstest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"marchgen/internal/obs"
+)
+
+func trace(t *testing.T) []obs.Event {
+	t.Helper()
+	r := obs.NewRun()
+	root := r.Start("generate")
+	root.Child("generate/select").End()
+	sp := root.Child("generate/atsp")
+	sp.SetInt("nodes", 12)
+	sp.End()
+	root.End()
+	return r.Events()
+}
+
+func TestRoundTripAndValidate(t *testing.T) {
+	events := trace(t)
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(events))
+	}
+	if err := Validate(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if err := RequireSpans(parsed, []string{"generate", "generate/atsp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RequireSpans(parsed, []string{"generate/missing"}); err == nil {
+		t.Fatal("RequireSpans should fail on a missing span")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []obs.Event
+		want   string
+	}{
+		{"empty", nil, "empty"},
+		{"bad name", []obs.Event{{Name: "Bad Name", Seq: 1}}, "invalid character"},
+		{"empty segment", []obs.Event{{Name: "a//b", Seq: 1}}, "empty path segment"},
+		{"zero seq", []obs.Event{{Name: "a", Seq: 0}}, "seq must be positive"},
+		{"dup seq", []obs.Event{{Name: "a", Seq: 1}, {Name: "b", Seq: 1}}, "duplicate seq"},
+		{"dangling parent", []obs.Event{{Name: "a", Seq: 2, Parent: 9}}, "not in trace"},
+		{"cycle", []obs.Event{{Name: "a", Seq: 1, Parent: 2}, {Name: "b", Seq: 2, Parent: 1}}, "cycle"},
+		{"negative time", []obs.Event{{Name: "a", Seq: 1, DurUS: -1}}, "negative time"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.events)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseTraceRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader(`{"name":"a","seq":1,"start_us":0,"dur_us":0,"bogus":1}` + "\n")); err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+}
+
+func TestNormalizeStripsTime(t *testing.T) {
+	events := trace(t)
+	n1 := Normalize(events)
+	for _, ev := range n1 {
+		if ev.StartUS != 0 || ev.DurUS != 0 {
+			t.Fatalf("normalize left time fields: %+v", ev)
+		}
+	}
+	// Input untouched; a second run of the same shape normalises equal.
+	if events[0].Seq != n1[0].Seq {
+		t.Fatal("normalize reordered without reason")
+	}
+	n2 := Normalize(trace(t))
+	if len(n1) != len(n2) {
+		t.Fatalf("traces differ in length: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i].Name != n2[i].Name || n1[i].Parent != n2[i].Parent {
+			t.Fatalf("normalized traces differ at %d: %+v vs %+v", i, n1[i], n2[i])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command tracecheck validates a JSONL span trace produced with
+// -trace against the obstest schema, and optionally requires specific
+// span names to be present. CI's trace smoke job runs it over a
+// marchgen trace of the Table 3 fault list:
+//
+//	tracecheck [-require name,name,...] trace.jsonl
+//
+// Exit status 0 on a valid trace, 1 on schema or coverage violations,
+// 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"marchgen/internal/obs/obstest"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	require := fs.String("require", "", "comma-separated span names that must appear in the trace")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] trace.jsonl")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		return 2
+	}
+	defer f.Close()
+
+	events, err := obstest.ParseTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: parse:", err)
+		return 1
+	}
+	if err := obstest.Validate(events); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: invalid:", err)
+		return 1
+	}
+	if *require != "" {
+		var want []string
+		for _, name := range strings.Split(*require, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				want = append(want, name)
+			}
+		}
+		if err := obstest.RequireSpans(events, want); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			return 1
+		}
+	}
+	fmt.Printf("tracecheck: ok: %d spans\n", len(events))
+	return 0
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stages partitions wall time into named, non-overlapping stage windows
+// measured at stage boundaries: Enter("atsp") closes the previous
+// stage's window and opens atsp's. This is the backing store for
+// Stats.StageElapsed — unlike the old pattern of ad-hoc time.Since
+// calls sprinkled over the pipeline, a degraded or cancelled stage
+// still gets the exact window it occupied, and windows can never
+// overlap or double-count.
+//
+// Stages works with a nil *Run (no spans or metrics are emitted), so
+// the duration bookkeeping itself never depends on observation being
+// enabled. It is safe for use by one goroutine at a time per instance
+// (the pipeline's stage boundaries are sequential); Elapsed may be
+// called concurrently with Enter.
+type Stages struct {
+	run    *Run
+	parent *Span
+	prefix string
+
+	mu      sync.Mutex
+	cur     string
+	curSpan *Span
+	t0      time.Time
+	elapsed map[string]time.Duration
+	closed  bool
+}
+
+// NewStages starts a stage tracker. Spans for each stage are opened as
+// children of parent under prefix+name (e.g. prefix "generate/" yields
+// "generate/atsp"); with a nil run only durations are tracked.
+func NewStages(run *Run, parent *Span, prefix string) *Stages {
+	return &Stages{
+		run:     run,
+		parent:  parent,
+		prefix:  prefix,
+		elapsed: map[string]time.Duration{},
+	}
+}
+
+// Enter marks the boundary into stage name: the previous stage's window
+// closes here and name's window opens. Re-entering the current stage is
+// a no-op; re-entering an earlier stage accumulates into it. Returns
+// the stage's span (nil when unobserved) so callers can attach
+// attributes to the phase they are in.
+func (s *Stages) Enter(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	now := time.Now()
+	if s.cur == name {
+		return s.curSpan
+	}
+	s.closeCurrentLocked(now)
+	s.cur = name
+	s.t0 = now
+	if s.parent != nil {
+		s.curSpan = s.parent.Child(s.prefix + name)
+	} else {
+		s.curSpan = s.run.Start(s.prefix + name)
+	}
+	if s.run != nil {
+		s.run.phase.Store(s.curSpan)
+	}
+	return s.curSpan
+}
+
+// closeCurrentLocked folds the live window into elapsed and ends its
+// span. Caller holds s.mu.
+func (s *Stages) closeCurrentLocked(now time.Time) {
+	if s.cur == "" {
+		return
+	}
+	s.elapsed[s.cur] += now.Sub(s.t0)
+	s.curSpan.End()
+	s.cur, s.curSpan = "", nil
+	if s.run != nil {
+		s.run.phase.Store(s.parent)
+	}
+}
+
+// Close ends the live stage window. Idempotent. The per-stage totals
+// are flushed to the run's metrics as stage.<name>.ns.
+func (s *Stages) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closeCurrentLocked(time.Now())
+	s.closed = true
+	for name, d := range s.elapsed {
+		s.run.Counter("stage." + name + ".ns").Add(int64(d))
+	}
+}
+
+// Elapsed returns a copy of the per-stage totals, including the live
+// stage's window so far.
+func (s *Stages) Elapsed() map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.elapsed)+1)
+	for k, v := range s.elapsed {
+		out[k] = v
+	}
+	if s.cur != "" {
+		out[s.cur] += time.Since(s.t0)
+	}
+	return out
+}

@@ -8,9 +8,14 @@
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"marchgen/internal/obs"
 )
 
 // Size normalises a worker count: n <= 0 selects runtime.GOMAXPROCS(0)
@@ -29,6 +34,32 @@ func Size(n int) int {
 // workers <= 1 or n <= 1 no goroutine is spawned and fn runs inline, so
 // the sequential engine is literally the workers=1 configuration.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return mapHooked(workers, n, fn, nil)
+}
+
+// MapCtx is Map with the fan-out recorded to the observability run
+// attached to ctx (see internal/obs): the fan-out count, task total,
+// peak outstanding-task depth and per-worker busy time land in the
+// run's metrics. Without a run on the context it is exactly Map — the
+// instrumentation costs nothing when observation is off.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	run := obs.From(ctx)
+	if run == nil {
+		return mapHooked(workers, n, fn, nil)
+	}
+	run.Counter("pool.fanouts").Inc()
+	run.Counter("pool.tasks").Add(int64(n))
+	run.Histogram("pool.fanout.n").Observe(int64(n))
+	run.Gauge("pool.queue.depth").Max(int64(n))
+	return mapHooked(workers, n, fn, func(worker int, busy time.Duration) {
+		run.Counter(fmt.Sprintf("pool.worker.%d.busy_ns", worker)).Add(int64(busy))
+	})
+}
+
+// mapHooked is the shared implementation: done, when non-nil, receives
+// each worker's total busy time (fn execution, not queue idling) once
+// the worker exits. The inline path reports as worker 0.
+func mapHooked[T any](workers, n int, fn func(i int) (T, error), done func(worker int, busy time.Duration)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -38,12 +69,19 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	if workers <= 1 || n == 1 {
+		var t0 time.Time
+		if done != nil {
+			t0 = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
+		}
+		if done != nil {
+			done(0, time.Since(t0))
 		}
 		return out, nil
 	}
@@ -66,8 +104,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var busy time.Duration
+			if done != nil {
+				defer func() { done(w, busy) }()
+			}
 			for {
 				if failed.Load() {
 					return
@@ -76,14 +118,21 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				var t0 time.Time
+				if done != nil {
+					t0 = time.Now()
+				}
 				v, err := fn(i)
+				if done != nil {
+					busy += time.Since(t0)
+				}
 				if err != nil {
 					record(i, err)
 					return
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if errVal != nil {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"marchgen/fault"
 	"marchgen/fsm"
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 	"marchgen/internal/pool"
 	"marchgen/march"
 )
@@ -98,6 +100,16 @@ const parallelThreshold = 16
 // in instance order, so the Coverage is byte-identical to the sequential
 // evaluation at any worker count.
 func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int) (Coverage, error) {
+	if run := obs.From(ctx); run != nil {
+		sp := run.StartUnder("sim/evaluate").SetInt("instances", int64(len(instances)))
+		t0 := time.Now()
+		run.Counter("sim.evaluations").Inc()
+		run.Counter("sim.instances").Add(int64(len(instances)))
+		defer func() {
+			run.Histogram("sim.evaluate_ns").Observe(int64(time.Since(t0)))
+			sp.End()
+		}()
+	}
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -137,7 +149,7 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 	}
 	cov := Coverage{Test: t}
 	if workers = pool.Size(workers); workers > 1 && len(instances) >= parallelThreshold {
-		results, err := pool.Map(workers, len(instances), func(i int) (InstanceResult, error) {
+		results, err := pool.MapCtx(ctx, workers, len(instances), func(i int) (InstanceResult, error) {
 			if err := budget.CtxErr(ctx); err != nil {
 				return InstanceResult{}, err
 			}
@@ -217,6 +229,18 @@ func EvaluateNCtx(ctx context.Context, t *march.Test, instances []fault.Instance
 // fanned out over a bounded worker pool (workers <= 0: GOMAXPROCS);
 // results are collected in instance order, identical at any worker count.
 func EvaluateNWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, n, workers int) (Coverage, error) {
+	if run := obs.From(ctx); run != nil {
+		sp := run.StartUnder("sim/evaluate_n").
+			SetInt("instances", int64(len(instances))).
+			SetInt("cells", int64(n))
+		t0 := time.Now()
+		run.Counter("sim.evaluations_n").Inc()
+		run.Counter("sim.instances").Add(int64(len(instances)))
+		defer func() {
+			run.Histogram("sim.evaluate_ns").Observe(int64(time.Since(t0)))
+			sp.End()
+		}()
+	}
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}
@@ -255,7 +279,7 @@ func EvaluateNWorkers(ctx context.Context, t *march.Test, instances []fault.Inst
 	}
 	cov := Coverage{Test: t}
 	if workers = pool.Size(workers); workers > 1 && len(instances) > 1 {
-		results, err := pool.Map(workers, len(instances), func(i int) (InstanceResult, error) {
+		results, err := pool.MapCtx(ctx, workers, len(instances), func(i int) (InstanceResult, error) {
 			if err := budget.CtxErr(ctx); err != nil {
 				return InstanceResult{}, err
 			}

@@ -1,0 +1,157 @@
+package marchgen
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marchgen/internal/obs"
+	"marchgen/internal/obs/obstest"
+)
+
+// traceFor generates the fault list at one worker with a cold cache and
+// returns the parsed span trace (the deterministic configuration: span
+// names, attributes, parentage and sequence numbers are fixed; only
+// timestamps vary run to run).
+func traceFor(t *testing.T, faults string) []obs.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	_, err := GenerateCtx(context.Background(), faults,
+		WithWorkers(1), WithoutCache(), WithTrace(&buf))
+	if err != nil {
+		t.Fatalf("%s: %v", faults, err)
+	}
+	events, err := obstest.ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("%s: parse trace: %v", faults, err)
+	}
+	return events
+}
+
+// TestTraceGolden locks the normalised span trace of a small Table 3
+// generation against a committed golden file: every span name, nesting
+// edge, sequence number and deterministic attribute is fixed, with
+// timestamps and durations zeroed. Any pipeline change that alters the
+// trace shape is a conscious, reviewed decision:
+//
+//	go test -run TestTraceGolden -update .
+func TestTraceGolden(t *testing.T) {
+	events := traceFor(t, "SAF,TF")
+	if err := obstest.Validate(events); err != nil {
+		t.Fatalf("trace is schema-invalid: %v", err)
+	}
+	if err := obstest.RequireSpans(events, []string{
+		"generate",
+		"generate/expand",
+		"generate/select",
+		"generate/atsp",
+		"generate/assemble",
+		"generate/validate",
+		"generate/shrink",
+		"generate/finalize",
+		"sim/evaluate",
+	}); err != nil {
+		t.Fatalf("trace is missing pipeline spans: %v", err)
+	}
+
+	var b bytes.Buffer
+	if err := obs.WriteJSONL(&b, obstest.Normalize(events)); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "trace_saf_tf.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("normalised trace diverges from %s (re-run with -update if intended):\ngot:\n%swant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestTraceDeterministic re-runs the golden configuration and checks the
+// two normalised traces are byte-identical — the documented determinism
+// guarantee: enabled traces are deterministic modulo timestamps.
+func TestTraceDeterministic(t *testing.T) {
+	render := func(events []obs.Event) string {
+		var b bytes.Buffer
+		if err := obs.WriteJSONL(&b, obstest.Normalize(events)); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := render(traceFor(t, "SAF,TF"))
+	b := render(traceFor(t, "SAF,TF"))
+	if a != b {
+		t.Errorf("two identical runs produced different normalised traces:\nfirst:\n%ssecond:\n%s", a, b)
+	}
+}
+
+// TestMetricsSurface checks the Stats.Metrics snapshot of an observed run
+// carries the headline metric families, and that an unobserved run pays
+// nothing (nil map, no trace).
+func TestMetricsSurface(t *testing.T) {
+	res, err := Generate("SAF,TF", WithWorkers(1), WithoutCache(), WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Stats.Metrics
+	if m == nil {
+		t.Fatal("WithMetrics run returned no metrics snapshot")
+	}
+	for _, name := range []string{
+		"generate.elapsed_ns",
+		"stage.expand.ns",
+		"stage.validate.ns",
+		"sim.evaluations",
+		"obs.spans",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %q missing from snapshot (have %v)", name, obs.MetricNames(m))
+		}
+	}
+
+	plain, err := Generate("SAF,TF", WithWorkers(1), WithoutCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Metrics != nil {
+		t.Errorf("unobserved run returned a metrics snapshot: %v", obs.MetricNames(plain.Stats.Metrics))
+	}
+	if len(plain.Stats.StageElapsed) == 0 {
+		t.Error("unobserved run lost StageElapsed")
+	}
+}
+
+// BenchmarkGenerateObsOff and BenchmarkGenerateObsOn measure the
+// disabled-observability overhead contract (<2%): compare with
+//
+//	go test -run '^$' -bench 'BenchmarkGenerateObs' -count 10 .
+func BenchmarkGenerateObsOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("SAF,TF", WithWorkers(1), WithoutCache()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateObsOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate("SAF,TF", WithWorkers(1), WithoutCache(),
+			WithMetrics(), WithTrace(io.Discard)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,9 +7,18 @@ import (
 	"marchgen/fault"
 	"marchgen/internal/cover"
 	"marchgen/internal/memo"
+	"marchgen/internal/obs"
 	"marchgen/internal/sim"
 	"marchgen/march"
 )
+
+// boolInt renders a boolean as a span/metric attribute value.
+func boolInt(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
 
 // InstanceCoverage is the verdict of a March test on one fault instance.
 type InstanceCoverage struct {
@@ -103,6 +112,10 @@ func VerifyModelsWorkersCtx(ctx context.Context, t *march.Test, models []fault.M
 		return nil, err
 	}
 	instances := fault.Instances(models)
+	run := obs.From(ctx)
+	sp := run.Start("verify").SetInt("instances", int64(len(instances)))
+	defer run.WithPhase(sp)()
+	defer sp.End()
 	cov, err := sim.EvaluateWorkers(ctx, t, instances, workers)
 	if err != nil {
 		return nil, err
@@ -121,6 +134,7 @@ func VerifyModelsWorkersCtx(ctx context.Context, t *march.Test, models []fault.M
 			DetectingOps: append([]int(nil), r.DetectingOps...),
 		})
 	}
+	sp.SetInt("complete", boolInt(rep.Complete))
 	if !rep.Complete {
 		return rep, nil
 	}
@@ -128,7 +142,7 @@ func VerifyModelsWorkersCtx(ctx context.Context, t *march.Test, models []fault.M
 	if workers != 1 {
 		cache = memo.Shared()
 	}
-	analysis, err := cover.AnalyzeWorkers(t, instances, workers, cache)
+	analysis, err := cover.AnalyzeWorkers(ctx, t, instances, workers, cache)
 	if err != nil {
 		return nil, err
 	}
