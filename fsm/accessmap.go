@@ -29,6 +29,7 @@ func (c Comb) String() string {
 // types: an address may access no cell, the wrong cell, several cells, or
 // share a cell with another address.
 type AccessMap struct {
+	// Name identifies the decoder-fault variant.
 	Name string
 	// Writes[c] lists the physical cells actually written by a write to
 	// address c. An empty list loses the write.

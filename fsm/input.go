@@ -24,9 +24,12 @@ const (
 
 // Input is one symbol of the model's input alphabet.
 type Input struct {
+	// Kind is the operation class: read, write or wait.
 	Kind InputKind
+	// Cell is the addressed cell; unused for waits.
 	Cell Cell
-	Data march.Bit // write data; X for reads and waits
+	// Data is the write data; X for reads and waits.
+	Data march.Bit
 }
 
 // Rd returns the read input for cell c.

@@ -7,6 +7,7 @@ import "marchgen/march"
 // Next is δ, Output is λ. Output returns X for inputs that produce no
 // output (writes, waits) and for reads whose value cannot be relied upon.
 type Machine struct {
+	// Name identifies the modelled behaviour (fault-free or a BFE).
 	Name   string
 	next   func(State, Input) State
 	output func(State, Input) march.Bit

@@ -12,6 +12,8 @@ import (
 // faults with only two cells.
 type Cell uint8
 
+// CellI and CellJ are the two cells of the paper's reduced memory model;
+// CellI has the lower address.
 const (
 	CellI Cell = iota
 	CellJ
@@ -44,6 +46,7 @@ func Cells() [2]Cell { return [2]Cell{CellI, CellJ} }
 // machine state X means "not initialised" (the paper's "–" symbol); in a
 // pattern it means "don't care".
 type State struct {
+	// I and J are the contents of cells i and j.
 	I, J march.Bit
 }
 

@@ -1,0 +1,112 @@
+// Command mdlinks is the repository's intra-repo markdown link check:
+// it walks the tree rooted at its argument (default ".") for .md files,
+// extracts inline links and image references, and verifies that every
+// relative target resolves to an existing file or directory. External
+// schemes (http, https, mailto) and pure in-page anchors are skipped;
+// a #fragment on a file target is stripped before the existence check.
+//
+//	mdlinks .            # check the whole repository
+//	mdlinks docs         # check one subtree
+//
+// The CI docs job runs it so a renamed file breaks the build instead of
+// silently 404ing README cross-references.
+//
+// Exit codes: 0 all links resolve, 1 broken links found, 2 usage error.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) or
+// ![alt](target). Reference-style definitions are rare in this repo and
+// out of scope.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		root = os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mdlinks [root]")
+		os.Exit(2)
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		n, err := checkFile(path)
+		broken += n
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinks:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinks: %d broken intra-repo link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile verifies every relative link in one markdown file, resolving
+// targets against the file's own directory.
+func checkFile(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	broken := 0
+	inFence := false
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue // code blocks legitimately contain [x](y)-shaped text
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue // in-page anchor
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %s\n", filepath.ToSlash(path), lineNo+1, m[1])
+				broken++
+			}
+		}
+	}
+	return broken, nil
+}
+
+// skip reports whether a link target is outside mdlinks' scope.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// batchItem is one coalescing-leader engine run waiting to be dispatched,
+// tagged with the fault-model names of its request so the batcher can
+// group overlapping work.
+type batchItem struct {
+	models []string
+	// exec runs the engine and completes the item's call; it must not
+	// panic (the engine's panic boundary converts invariant failures to
+	// typed errors) and it observes its own detached context, so a dead
+	// request costs one prompt CheckNow, not an engine run.
+	exec func()
+}
+
+// batcher is the micro-batching dispatcher in front of the engine
+// permits. A generate leader lingers here for up to one window; leaders
+// that arrive within the same window and share at least one fault model
+// are grouped (union-find over model names) and the whole group executes
+// back-to-back on a single engine permit. Members of a group pose
+// overlapping sub-problems — coverage-matrix rows, ATSP tour fragments
+// and completeness verdicts keyed by the same content hashes — so the
+// second and later members run substantially warm out of the shared memo
+// cache, and a burst of related traffic consumes one permit instead of
+// saturating the in-flight window.
+//
+// A window of 0 (or negative) disables grouping: every item dispatches
+// immediately on its own permit.
+type batcher struct {
+	s      *Server
+	window time.Duration
+
+	mu      sync.Mutex
+	pending []*batchItem
+}
+
+func newBatcher(s *Server, window time.Duration) *batcher {
+	return &batcher{s: s, window: window}
+}
+
+// submit hands one leader run to the dispatcher. It returns immediately;
+// exec runs on a dispatcher goroutine once a permit is available.
+func (b *batcher) submit(it *batchItem) {
+	if b.window <= 0 {
+		go b.s.runBatch([]*batchItem{it})
+		return
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, it)
+	first := len(b.pending) == 1
+	b.mu.Unlock()
+	if first {
+		// One flush timer per window, armed by the item that opens it.
+		time.AfterFunc(b.window, b.flush)
+	}
+}
+
+// flush groups the window's pending items by fault-model overlap and
+// dispatches each group on its own goroutine (one permit per group).
+func (b *batcher) flush() {
+	b.mu.Lock()
+	items := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	groups := groupByOverlap(items)
+	for _, g := range groups {
+		go b.s.runBatch(g)
+	}
+	b.s.run.Counter("serve.batch.windows").Inc()
+	for _, g := range groups {
+		b.s.run.Histogram("serve.batch.size").Observe(int64(len(g)))
+	}
+}
+
+// runBatch executes one overlap group on a single engine permit, members
+// back-to-back in arrival order.
+func (s *Server) runBatch(items []*batchItem) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	if len(items) > 1 {
+		s.run.Counter("serve.batch.grouped").Add(int64(len(items)))
+	}
+	for _, it := range items {
+		it.exec()
+	}
+}
+
+// groupByOverlap partitions items into groups whose fault-model name
+// sets are transitively connected: items sharing any model land in the
+// same group (union-find keyed by model name), preserving arrival order
+// within each group.
+func groupByOverlap(items []*batchItem) [][]*batchItem {
+	parent := make([]int, len(items))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	owner := map[string]int{} // model name → first item using it
+	for i, it := range items {
+		for _, m := range it.models {
+			if j, ok := owner[m]; ok {
+				union(i, j)
+			} else {
+				owner[m] = i
+			}
+		}
+	}
+	order := []int{}
+	byRoot := map[int][]*batchItem{}
+	for i, it := range items {
+		r := find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], it)
+	}
+	out := make([][]*batchItem, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

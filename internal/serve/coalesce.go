@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"marchgen"
+	"marchgen/internal/budget"
+	"marchgen/internal/obs"
+)
+
+// call is one in-flight coalesced engine run. The leader (the first
+// request to present a key) owns the run; every later identical request
+// joins as a follower and shares the result bytes. The run executes
+// under a context detached from any single request: it is canceled only
+// when the reference count — every request still waiting on the call —
+// drops to zero, so one impatient caller can never abort a run that
+// others still want.
+type call struct {
+	key  string
+	done chan struct{}
+
+	// res/err are written once, before done is closed.
+	res *marchgen.Result
+	err error
+
+	mu     sync.Mutex
+	refs   int
+	cancel context.CancelFunc
+	// runCtx is the detached engine context the leader executes under.
+	runCtx context.Context
+}
+
+// leave drops one waiter; the last one out cancels the engine run (a
+// no-op when the run already finished).
+func (c *call) leave() {
+	c.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	c.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// group coalesces identical generate requests by content-addressed key —
+// singleflight with joinable cancellation.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+
+	coalesced *obs.Counter
+	runs      *obs.Counter
+}
+
+func newGroup(run *obs.Run) *group {
+	return &group{
+		calls:     map[string]*call{},
+		coalesced: run.Counter("serve.coalesced"),
+		runs:      run.Counter("serve.engine_runs"),
+	}
+}
+
+// join returns the in-flight call for key — creating it, as leader, when
+// none exists. The bool reports whether the caller is a follower
+// (coalesced). The leader must arrange for run(runCtx) to execute and
+// complete the call; followers only wait.
+func (g *group) join(key string, newRunCtx func() (context.Context, context.CancelFunc)) (c *call, coalesced bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		c.mu.Lock()
+		c.refs++
+		c.mu.Unlock()
+		g.coalesced.Inc()
+		return c, true
+	}
+	ctx, cancel := newRunCtx()
+	c = &call{key: key, done: make(chan struct{}), refs: 1, cancel: cancel, runCtx: ctx}
+	g.calls[key] = c
+	return c, false
+}
+
+// complete publishes the result, removes the call from the group (so the
+// next identical request starts fresh — typically a warm memo-cache hit)
+// and releases the run's cancel resources.
+func (g *group) complete(c *call, res *marchgen.Result, err error) {
+	c.res, c.err = res, err
+	g.mu.Lock()
+	delete(g.calls, c.key)
+	g.mu.Unlock()
+	close(c.done)
+	c.cancel() // release the context's timer; harmless after completion
+}
+
+// wait blocks until the call completes or ctx (the waiter's own request
+// context) is done; either way the waiter's reference is released. The
+// error of an abandoned wait is the request context's, mapped to the
+// typed taxonomy.
+func (c *call) wait(ctx context.Context) (*marchgen.Result, error) {
+	select {
+	case <-c.done:
+		return c.res, c.err
+	case <-ctx.Done():
+		c.leave()
+		return nil, budget.CtxErr(ctx)
+	}
+}

@@ -4,9 +4,13 @@ import "fmt"
 
 // Stats summarises the operation mix of a March test.
 type Stats struct {
+	// Reads and Writes count operations per cell; their sum is the
+	// test complexity.
 	Reads, Writes int
-	Elements      int
-	Delays        int
+	// Elements is the number of March elements, delays included.
+	Elements int
+	// Delays counts wait elements (zero-complexity).
+	Delays int
 	// UpElements / DownElements / AnyElements count addressing orders.
 	UpElements, DownElements, AnyElements int
 }

@@ -55,8 +55,11 @@ func (o Order) ASCII() string {
 // develop. A delay element carries no operations and contributes zero to
 // the test complexity.
 type Element struct {
+	// Order is the addressing order (⇑, ⇓ or ⇕).
 	Order Order
-	Ops   []Op
+	// Ops is the operation sequence applied to each cell in turn.
+	Ops []Op
+	// Delay marks the wait element; Ops is empty when set.
 	Delay bool
 }
 

@@ -7,10 +7,14 @@ import "sort"
 // for the test (in operations per cell) and is verified against the test
 // body by the package tests.
 type KnownTest struct {
-	Test       *Test
+	// Test is the parsed test body.
+	Test *Test
+	// Complexity is the conventional operations-per-cell figure.
 	Complexity int
-	Source     string
-	Notes      string
+	// Source cites where the test was introduced.
+	Source string
+	// Notes records coverage claims or caveats from the literature.
+	Notes string
 }
 
 // mustParse parses a library test, panicking on error. It runs only at

@@ -34,7 +34,9 @@ func (k OpKind) String() string {
 // For a Read, Data is the value the fault-free memory would return; a
 // mismatch observed during test application flags the memory as faulty.
 type Op struct {
+	// Kind selects read-and-verify or write.
 	Kind OpKind
+	// Data is the expected value (reads) or the stored value (writes).
 	Data Bit
 }
 

@@ -8,7 +8,9 @@ import (
 // Test is a complete March test: a name (optional) and a sequence of March
 // elements, e.g. MATS+ = { ⇕(w0); ⇑(r0,w1); ⇓(r1,w0) }.
 type Test struct {
-	Name     string
+	// Name is the test's conventional name; empty for generated tests.
+	Name string
+	// Elements is the ordered element sequence between the braces.
 	Elements []Element
 }
 

@@ -36,7 +36,10 @@ type InstanceCoverage struct {
 // list: the coverage verdict per instance plus the paper's Section 6
 // non-redundancy analysis (run only when coverage is complete).
 type CoverageReport struct {
-	Test       *march.Test
+	// Test is the verified test (parsed form, canonical element order).
+	Test *march.Test
+	// Complexity is the test's operation count per cell (the paper's
+	// kn measure with k = Complexity).
 	Complexity int
 	// Complete is true when every fault instance is detected.
 	Complete bool
