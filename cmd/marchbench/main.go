@@ -1,20 +1,32 @@
 // Command marchbench measures the generation engine over the paper's
 // Table 3 fault lists in three configurations — sequential (one worker,
 // cold cache), parallel (GOMAXPROCS workers, cold cache) and cached (warm
-// memo cache) — verifies the three produce byte-identical tests, and
-// writes the timings as JSON:
+// memo cache) — verifies the three produce byte-identical tests, times the
+// coverage-evaluation stage on the bit-parallel kernel against the scalar
+// oracle (with allocations per evaluation), and writes the timings as
+// JSON:
 //
-//	marchbench                          # print BENCH_generate.json content
-//	marchbench -o BENCH_generate.json   # write the committed benchmark file
+//	marchbench                          # print a BENCH_generate.json entry
+//	marchbench -o BENCH_generate.json   # append/refresh the committed entry
 //	marchbench -reps 5                  # more repetitions (minimum is kept)
+//	marchbench -label kernel            # entry label in the bench file
+//	marchbench -require-kernel          # fail unless the kernel engine ran
+//
+// BENCH_generate.json is an append-only list of labelled entries: writing
+// with -o loads the existing file (the legacy single-sweep schema is
+// surfaced as a "pre-kernel" entry) and upserts this run's entry by label,
+// so before/after engine comparisons live in one committed file.
 //
 // Each row also reports the warm-phase memo cache traffic (hits, misses,
 // evictions) and the parallel configuration's worker-pool utilisation,
 // measured on a separate instrumented run so the timed runs stay
-// observation-free.
+// observation-free. The same instrumented run backs -require-kernel: the
+// flag fails the process when sim.kernel_traces is zero or
+// sim.scalar_fallbacks is non-zero, guarding CI against a silent fallback
+// to the scalar engine.
 //
-// Exit codes: 0 success, 1 failure (including a determinism violation),
-// 2 usage error.
+// Exit codes: 0 success, 1 failure (including a determinism violation or
+// a -require-kernel violation), 2 usage error.
 package main
 
 import (
@@ -29,50 +41,31 @@ import (
 	"time"
 
 	"marchgen"
+	"marchgen/fault"
 	"marchgen/internal/budget"
 	"marchgen/internal/experiments"
 	"marchgen/internal/obs"
+	"marchgen/internal/sim"
+	"marchgen/march"
 )
-
-// Row is one fault list's measurement.
-type Row struct {
-	Faults       string  `json:"faults"`
-	Complexity   int     `json:"complexity"`
-	Test         string  `json:"test"`
-	SequentialNS int64   `json:"sequential_ns"`
-	ParallelNS   int64   `json:"parallel_ns"`
-	WarmCacheNS  int64   `json:"warm_cache_ns"`
-	SpeedupPar   float64 `json:"speedup_parallel"`
-	SpeedupWarm  float64 `json:"speedup_warm_cache"`
-	// Warm-phase memo cache traffic: deltas of the process-wide cache
-	// counters across the warm-cache repetitions.
-	WarmCacheHits      uint64 `json:"warm_cache_hits"`
-	WarmCacheMisses    uint64 `json:"warm_cache_misses"`
-	WarmCacheEvictions uint64 `json:"warm_cache_evictions"`
-	// Pool utilisation of the parallel configuration: the fraction of
-	// workers × wall-time the pool's workers spent busy, from a separate
-	// instrumented run (the timed runs are observation-free).
-	PoolWorkers     int     `json:"pool_workers"`
-	PoolUtilization float64 `json:"pool_utilization"`
-}
-
-// File is the BENCH_generate.json schema.
-type File struct {
-	GoMaxProcs int   `json:"gomaxprocs"`
-	Reps       int   `json:"reps"`
-	Rows       []Row `json:"rows"`
-}
 
 func main() { os.Exit(run()) }
 
 func run() int {
-	out := flag.String("o", "", "write the JSON here instead of stdout")
+	out := flag.String("o", "", "append the entry to this JSON file instead of stdout")
 	reps := flag.Int("reps", 3, "repetitions per configuration (the minimum time is kept)")
 	workers := flag.Int("workers", 0, "worker count of the parallel configuration (0: GOMAXPROCS)")
+	label := flag.String("label", "kernel", "label of the bench-file entry this run writes")
+	requireKernel := flag.Bool("require-kernel", false,
+		"fail unless the instrumented run used the bit-parallel kernel with no scalar fallback")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if *reps <= 0 {
 		fmt.Fprintln(os.Stderr, "marchbench: -reps must be positive")
+		return budget.ExitUsage
+	}
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "marchbench: -label must be non-empty")
 		return budget.ExitUsage
 	}
 	w, err := budget.ParseWorkers(*workers)
@@ -91,9 +84,9 @@ func run() int {
 	// instrumented runs; the timed repetitions stay observation-free.
 	obsCtx := obs.Into(context.Background(), orun)
 	ctx := context.Background()
-	file := File{GoMaxProcs: runtime.GOMAXPROCS(0), Reps: *reps}
+	entry := experiments.BenchEntry{Label: *label, GoMaxProcs: runtime.GOMAXPROCS(0), Reps: *reps}
 	for _, spec := range experiments.Table3Spec() {
-		row := Row{Faults: spec.Faults, PoolWorkers: w}
+		row := experiments.BenchRow{Faults: spec.Faults, PoolWorkers: w}
 		// Sequential: one worker, no cache — the PR 1 engine.
 		seq, t, err := measure(ctx, *reps, spec.Faults,
 			marchgen.WithWorkers(1), marchgen.WithoutCache())
@@ -108,9 +101,9 @@ func run() int {
 			return fail(spec.Faults, err)
 		}
 		row.ParallelNS = par.Nanoseconds()
-		// Instrumented parallel run: complexity, pool utilisation. With
-		// -trace/-metrics the CLI's shared run accumulates across rows, so
-		// the utilisation is computed from per-row snapshot deltas.
+		// Instrumented parallel run: complexity, pool utilisation, kernel
+		// usage. With -trace/-metrics the CLI's shared run accumulates
+		// across rows, so deltas come from per-row snapshots.
 		irunCtx, before := obsCtx, map[string]int64(nil)
 		if orun != nil {
 			before = orun.Snapshot()
@@ -124,6 +117,20 @@ func run() int {
 		}
 		row.Complexity = ires.Complexity
 		row.PoolUtilization = poolUtilization(before, ires.Stats.Metrics, w)
+		if *requireKernel {
+			traces := ires.Stats.Metrics[obs.CounterKernelTraces] - before[obs.CounterKernelTraces]
+			fallbacks := ires.Stats.Metrics[obs.CounterScalarFallbacks] - before[obs.CounterScalarFallbacks]
+			if traces <= 0 || fallbacks != 0 {
+				fmt.Fprintf(os.Stderr, "marchbench: %s: kernel not engaged (kernel_traces=%d, scalar_fallbacks=%d)\n",
+					spec.Faults, traces, fallbacks)
+				return budget.ExitFail
+			}
+		}
+		// Kernel vs scalar: time the coverage-evaluation stage alone on
+		// the generated test and its full instance list.
+		if err := measureEval(&row, *reps, ires.Test, ires.Instances); err != nil {
+			return fail(spec.Faults, err)
+		}
 		// Cached: prime the shared cache once, then measure warm hits.
 		marchgen.ResetCache()
 		if _, err := marchgen.GenerateCtx(ctx, spec.Faults, marchgen.WithWorkers(1)); err != nil {
@@ -146,9 +153,19 @@ func run() int {
 		}
 		row.SpeedupPar = float64(row.SequentialNS) / float64(row.ParallelNS)
 		row.SpeedupWarm = float64(row.SequentialNS) / float64(row.WarmCacheNS)
-		file.Rows = append(file.Rows, row)
+		entry.Rows = append(entry.Rows, row)
 	}
 
+	file := &experiments.BenchFile{}
+	if *out != "" {
+		if existing, err := experiments.LoadBenchFile(*out); err == nil {
+			file = existing
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, "marchbench:", err)
+			return budget.ExitFail
+		}
+	}
+	file.Upsert(entry)
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchbench:", err)
@@ -165,6 +182,57 @@ func run() int {
 	}
 	fmt.Println("wrote", *out)
 	return budget.ExitOK
+}
+
+// evalInnerIters is the inner-loop length of one coverage-evaluation
+// timing repetition: single evaluations run in microseconds, so the inner
+// loop keeps the timer resolution honest.
+const evalInnerIters = 32
+
+// measureEval times one coverage evaluation of the test against the
+// instance list on both engines (minimum over reps of an averaged inner
+// loop) and counts heap allocations per evaluation, filling the row's
+// kernel columns.
+func measureEval(row *experiments.BenchRow, reps int, t *march.Test, instances []fault.Instance) error {
+	engines := []struct {
+		engine sim.Engine
+		ns     *int64
+		allocs *uint64
+	}{
+		{sim.Kernel, &row.KernelEvalNS, &row.KernelAllocsPerOp},
+		{sim.Scalar, &row.ScalarEvalNS, &row.ScalarAllocsPerOp},
+	}
+	ctx := context.Background()
+	for _, e := range engines {
+		// Warm once: compiles and caches the kernel's blocks so the timed
+		// loop measures evaluation, not compilation.
+		if _, err := sim.EvaluateEngine(ctx, t, instances, 1, e.engine); err != nil {
+			return err
+		}
+		best := int64(0)
+		var allocs uint64
+		for r := 0; r < reps; r++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			for i := 0; i < evalInnerIters; i++ {
+				if _, err := sim.EvaluateEngine(ctx, t, instances, 1, e.engine); err != nil {
+					return err
+				}
+			}
+			d := time.Since(t0).Nanoseconds() / evalInnerIters
+			runtime.ReadMemStats(&m1)
+			if r == 0 || d < best {
+				best = d
+				allocs = (m1.Mallocs - m0.Mallocs) / evalInnerIters
+			}
+		}
+		*e.ns, *e.allocs = best, allocs
+	}
+	if row.KernelEvalNS > 0 {
+		row.SpeedupKernel = float64(row.ScalarEvalNS) / float64(row.KernelEvalNS)
+	}
+	return nil
 }
 
 // measure runs GenerateCtx reps times and returns the minimum wall time

@@ -22,17 +22,21 @@ import (
 	"marchgen/internal/obs"
 	"marchgen/internal/pool"
 	"marchgen/internal/sim"
+	"marchgen/internal/simd"
 	"marchgen/march"
 )
 
 // Matrix is the Coverage Matrix: Rows lists the flattened operation
 // indices of the test's detecting reads (the elementary blocks), Cols
-// labels the fault conditions, and Cell[r][c] is true when block r
-// observes a mismatch for condition c.
+// labels the fault conditions, and At(r, c) is true when block r observes
+// a mismatch for condition c. Rows are stored as dense bitsets, so the
+// set-covering primitives (coverage gains, candidate counts) are masked
+// popcounts over machine words instead of boolean scans.
 type Matrix struct {
 	Rows []int
 	Cols []string
-	Cell [][]bool
+	// cells[r] is block r's column-membership bitset.
+	cells []simd.Bitset
 }
 
 // Build assembles the Coverage Matrix for a test against a fault list.
@@ -42,16 +46,19 @@ func Build(t *march.Test, instances []fault.Instance) (*Matrix, error) {
 	return BuildWorkers(context.Background(), t, instances, 1, nil)
 }
 
+// At reports whether block r observes a mismatch for fault condition c.
+func (m *Matrix) At(r, c int) bool { return m.cells[r].Get(c) }
+
 // Clone deep-copies the matrix, so cached matrices can be handed out
 // without aliasing the cache's copy.
 func (m *Matrix) Clone() *Matrix {
 	c := &Matrix{
-		Rows: append([]int(nil), m.Rows...),
-		Cols: append([]string(nil), m.Cols...),
-		Cell: make([][]bool, len(m.Cell)),
+		Rows:  append([]int(nil), m.Rows...),
+		Cols:  append([]string(nil), m.Cols...),
+		cells: make([]simd.Bitset, len(m.cells)),
 	}
-	for r := range m.Cell {
-		c.Cell[r] = append([]bool(nil), m.Cell[r]...)
+	for r := range m.cells {
+		c.cells[r] = m.cells[r].Clone()
 	}
 	return c
 }
@@ -86,15 +93,17 @@ func BuildWorkers(ctx context.Context, t *march.Test, instances []fault.Instance
 		label string
 		ops   []int
 	}
-	perInstance, err := pool.MapCtx(ctx, workers, len(instances), func(i int) ([]column, error) {
+	perInstance, err := sim.RunsBatch(ctx, t, instances, workers, sim.Kernel)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	var cols []column
+	for i, runs := range perInstance {
 		inst := instances[i]
-		runs, err := sim.Runs(t, inst)
-		if err != nil {
-			return nil, err
-		}
-		var cols []column
 		for k, run := range runs {
 			if len(run.MismatchOps) == 0 {
+				sp.End()
 				return nil, fmt.Errorf("cover: test %s misses %s (init %s)", t, inst.Name, run.Init)
 			}
 			cols = append(cols, column{
@@ -102,39 +111,32 @@ func BuildWorkers(ctx context.Context, t *march.Test, instances []fault.Instance
 				ops:   run.MismatchOps,
 			})
 		}
-		return cols, nil
-	})
-	if err != nil {
-		sp.End()
-		return nil, err
 	}
-	var cols []column
-	rowSet := map[int]bool{}
-	for _, ic := range perInstance {
-		for _, col := range ic {
-			cols = append(cols, col)
-			for _, op := range col.ops {
-				rowSet[op] = true
-			}
+	// The row universe is the test's flattened op index space; a scratch
+	// presence slice replaces the old map-backed row set.
+	numOps := len(t.Ops())
+	present := make([]bool, numOps)
+	for _, col := range cols {
+		for _, op := range col.ops {
+			present[op] = true
 		}
 	}
 	m := &Matrix{}
-	for op := range rowSet {
-		m.Rows = append(m.Rows, op)
+	rowIdx := make([]int, numOps)
+	for op, ok := range present {
+		if ok {
+			rowIdx[op] = len(m.Rows)
+			m.Rows = append(m.Rows, op)
+		}
 	}
-	sort.Ints(m.Rows)
-	rowIdx := map[int]int{}
-	for k, op := range m.Rows {
-		rowIdx[op] = k
-	}
-	m.Cell = make([][]bool, len(m.Rows))
-	for r := range m.Cell {
-		m.Cell[r] = make([]bool, len(cols))
+	m.cells = make([]simd.Bitset, len(m.Rows))
+	for r := range m.cells {
+		m.cells[r] = simd.NewBitset(len(cols))
 	}
 	for c, col := range cols {
 		m.Cols = append(m.Cols, col.label)
 		for _, op := range col.ops {
-			m.Cell[rowIdx[op]][c] = true
+			m.cells[rowIdx[op]].Set(c)
 		}
 	}
 	if cache != nil {
@@ -152,12 +154,8 @@ func observeMatrix(run *obs.Run, sp *obs.Span, m *Matrix) {
 		return
 	}
 	set := 0
-	for r := range m.Cell {
-		for c := range m.Cell[r] {
-			if m.Cell[r][c] {
-				set++
-			}
-		}
+	for r := range m.cells {
+		set += m.cells[r].Count()
 	}
 	permille := int64(0)
 	if total := len(m.Rows) * len(m.Cols); total > 0 {
@@ -174,20 +172,15 @@ func observeMatrix(run *obs.Run, sp *obs.Span, m *Matrix) {
 
 // Greedy returns a feasible cover by repeatedly picking the row covering
 // the most uncovered columns — the classical approximation, used as the
-// branch-and-bound upper bound.
+// branch-and-bound upper bound. Each round's gain scan is one masked
+// popcount per row.
 func (m *Matrix) Greedy() []int {
-	covered := make([]bool, len(m.Cols))
+	covered := simd.NewBitset(len(m.Cols))
 	var chosen []int
 	for {
 		best, bestGain := -1, 0
-		for r := range m.Rows {
-			gain := 0
-			for c := range m.Cols {
-				if m.Cell[r][c] && !covered[c] {
-					gain++
-				}
-			}
-			if gain > bestGain {
+		for r := range m.cells {
+			if gain := m.cells[r].CountNotIn(covered); gain > bestGain {
 				best, bestGain = r, gain
 			}
 		}
@@ -195,11 +188,7 @@ func (m *Matrix) Greedy() []int {
 			break
 		}
 		chosen = append(chosen, best)
-		for c := range m.Cols {
-			if m.Cell[best][c] {
-				covered[c] = true
-			}
-		}
+		covered.OrWith(m.cells[best])
 	}
 	sort.Ints(chosen)
 	return chosen
@@ -209,15 +198,20 @@ func (m *Matrix) Greedy() []int {
 // bound, always branching on the uncovered column with the fewest
 // candidate rows.
 func (m *Matrix) MinCover() ([]int, error) {
-	for c := range m.Cols {
-		any := false
-		for r := range m.Rows {
-			if m.Cell[r][c] {
-				any = true
-				break
+	// candidates[c] is the number of rows covering column c, fixed for
+	// the whole search; the branch column is the uncovered column with
+	// the fewest candidates.
+	candidates := make([]int, len(m.Cols))
+	for r := range m.cells {
+		row := m.cells[r]
+		for c := range m.Cols {
+			if row.Get(c) {
+				candidates[c]++
 			}
 		}
-		if !any {
+	}
+	for c, n := range candidates {
+		if n == 0 {
 			return nil, fmt.Errorf("cover: column %s is uncoverable", m.Cols[c])
 		}
 	}
@@ -234,33 +228,28 @@ func (m *Matrix) MinCover() ([]int, error) {
 			if covered[c] > 0 {
 				continue
 			}
-			count := 0
-			for r := range m.Rows {
-				if m.Cell[r][c] {
-					count++
-				}
-			}
-			if pick < 0 || count < pickCount {
-				pick, pickCount = c, count
+			if pick < 0 || candidates[c] < pickCount {
+				pick, pickCount = c, candidates[c]
 			}
 		}
 		if pick < 0 {
 			best = append([]int(nil), cur...)
 			return
 		}
-		for r := range m.Rows {
-			if !m.Cell[r][pick] {
+		for r := range m.cells {
+			row := m.cells[r]
+			if !row.Get(pick) {
 				continue
 			}
 			cur = append(cur, r)
 			for c := range m.Cols {
-				if m.Cell[r][c] {
+				if row.Get(c) {
 					covered[c]++
 				}
 			}
 			rec()
 			for c := range m.Cols {
-				if m.Cell[r][c] {
+				if row.Get(c) {
 					covered[c]--
 				}
 			}

@@ -100,7 +100,7 @@ func TestGreedyCoversEverything(t *testing.T) {
 	covered := make([]bool, len(m.Cols))
 	for _, r := range chosen {
 		for c := range m.Cols {
-			if m.Cell[r][c] {
+			if m.At(r, c) {
 				covered[c] = true
 			}
 		}

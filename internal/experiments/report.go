@@ -159,7 +159,7 @@ test pattern) instead of forcing every BFE keeps the TPG small:
 	b.WriteString("\n")
 
 	b.WriteString(`
-## Engine performance — sequential, parallel, memo-cached
+## Engine performance — sequential, parallel, memo-cached, kernel
 
 The committed ` + "`BENCH_generate.json`" + ` tracks the generation engine per
 Table 3 fault list in three configurations: *sequential* (one worker, cold
@@ -178,6 +178,33 @@ Warm-cache hits skip the whole pipeline (fault parsing aside) and run
 three to four orders of magnitude faster than a cold generation; parallel
 speedup tracks the machine's core count and is ~1× on a single-CPU host.
 
+### Before/after methodology — bit-parallel kernel vs scalar oracle
+
+The bench file is an append-only list of labelled entries, one per
+measurement campaign: the ` + "`pre-kernel`" + ` entry preserves the sweep taken
+before the bit-parallel simulation kernel landed (scalar closure-dispatch
+engine only), and the ` + "`kernel`" + ` entry re-measures the same Table 3 sweep
+with the kernel engine live. Both entries use the same reps discipline
+(minimum of -reps repetitions) on the same machine, so the sequential
+columns are directly comparable across entries. The kernel columns time
+the coverage-evaluation stage in isolation — one ` + "`sim.EvaluateEngine`" + ` call
+on the generated test against the row's full expanded instance list, each
+engine warmed once so compiled-LUT block caching is excluded — averaged
+over an inner loop of 32 evaluations, minimum over reps, with heap
+allocations per evaluation from ` + "`runtime.MemStats`" + ` deltas. Equivalence of
+the two engines is not assumed: the differential suite
+(` + "`TestKernelMatchesScalarFullLibrary`" + `, ` + "`FuzzKernelEquivalence`" + `) pins the
+kernel to the scalar oracle result-for-result over the entire fault
+library, and CI's bench smoke runs with ` + "`-require-kernel`" + `, failing if the
+kernel silently falls back to the scalar path.
+`)
+	if bf, err := LoadBenchFile("BENCH_generate.json"); err == nil {
+		if tbl := FormatBenchKernel(bf.Entry("kernel")); tbl != "" {
+			b.WriteString("\nCommitted kernel-entry measurements:\n\n")
+			b.WriteString(tbl)
+		}
+	}
+	b.WriteString(`
 ## Service throughput — closed-loop load on marchserve
 
 The committed ` + "`BENCH_serve.json`" + ` tracks the HTTP service

@@ -3,7 +3,6 @@ package gts
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"marchgen/fsm"
 	"marchgen/internal/budget"
@@ -45,17 +44,33 @@ func (st *state) clone() *state {
 	return &c
 }
 
-// key is the beam deduplication signature.
+// key is the beam deduplication signature: a fixed-width binary packing
+// of the construction. Each element contributes a header byte with the
+// high bit set (order and delay in the low bits) followed by one byte per
+// op (kind and data in the low bits, high bit clear, so headers
+// self-delimit); a trailing 0xFF marks a pending observation. This packs
+// the same information as the former element-String concatenation at a
+// fraction of the bytes and without the formatter in the beam's hot loop.
 func (st *state) key() string {
-	var b strings.Builder
+	n := 1 + len(st.elems)
 	for _, e := range st.elems {
-		b.WriteString(e.String())
-		b.WriteByte(';')
+		n += len(e.Ops)
+	}
+	buf := make([]byte, 0, n)
+	for _, e := range st.elems {
+		h := byte(0x80) | byte(e.Order)<<1
+		if e.Delay {
+			h |= 1
+		}
+		buf = append(buf, h)
+		for _, op := range e.Ops {
+			buf = append(buf, byte(op.Kind)<<2|byte(op.Data))
+		}
 	}
 	if st.needRead {
-		b.WriteByte('!')
+		buf = append(buf, 0xFF)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // closed finalises the construction: pending excitations get their

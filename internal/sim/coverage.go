@@ -11,6 +11,7 @@ import (
 	"marchgen/internal/budget"
 	"marchgen/internal/obs"
 	"marchgen/internal/pool"
+	"marchgen/internal/simd"
 	"marchgen/march"
 )
 
@@ -94,13 +95,22 @@ func EvaluateCtx(ctx context.Context, t *march.Test, instances []fault.Instance)
 const parallelThreshold = 16
 
 // EvaluateWorkers is EvaluateCtx with the per-fault simulation fanned out
-// over a bounded worker pool: the input trace per ⇕ resolution is derived
-// once, then every fault instance is checked independently on up to
-// `workers` goroutines (workers <= 0: GOMAXPROCS). Results are collected
-// in instance order, so the Coverage is byte-identical to the sequential
-// evaluation at any worker count.
+// over a bounded worker pool (workers <= 0: GOMAXPROCS). It runs on the
+// bit-parallel kernel; results are collected in instance order, so the
+// Coverage is byte-identical to the sequential evaluation at any worker
+// count.
 func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Instance, workers int) (Coverage, error) {
-	if run := obs.From(ctx); run != nil {
+	return EvaluateEngine(ctx, t, instances, workers, Kernel)
+}
+
+// EvaluateEngine is EvaluateWorkers with an explicit engine choice. The
+// scalar engine is the reference oracle the differential tests compare
+// the kernel against; production callers use Kernel (and silently fall
+// back to Scalar only if block compilation fails, bumping the
+// sim.scalar_fallbacks counter).
+func EvaluateEngine(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, engine Engine) (Coverage, error) {
+	run := obs.From(ctx)
+	if run != nil {
 		sp := run.StartUnder("sim/evaluate").SetInt("instances", int64(len(instances)))
 		t0 := time.Now()
 		run.Counter("sim.evaluations").Inc()
@@ -117,6 +127,26 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 	if err != nil {
 		return Coverage{}, err
 	}
+	if engine == Kernel && len(instances) > 0 {
+		blocks, hits, compiles, berr := simd.CompiledBlocks(instances)
+		if berr != nil {
+			if run != nil {
+				run.Counter(obs.CounterScalarFallbacks).Inc()
+			}
+		} else {
+			traces := kernelTraces(t, resolutions)
+			observeKernel(run, blocks, hits, compiles, len(traces), len(instances))
+			return evaluateKernel(ctx, t, instances, workers, traces, blocks)
+		}
+	}
+	return evaluateScalar(ctx, t, instances, workers, resolutions)
+}
+
+// evaluateScalar is the reference implementation: per instance, the
+// closure-dispatch machine is walked over every resolution's trace with
+// fsm.Detects / fsm.DetectingReads. The per-op detection tallies use a
+// flat counter row indexed by flattened operation position.
+func evaluateScalar(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, resolutions [][]march.Order) (Coverage, error) {
 	type traced struct {
 		trace     []fsm.Input
 		positions []int
@@ -126,9 +156,12 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 		tr, pos := Trace(t, res)
 		traces[k] = traced{tr, pos}
 	}
-	one := func(inst fault.Instance) InstanceResult {
+	numOps := len(t.Ops())
+	one := func(inst fault.Instance, detecting []int) InstanceResult {
 		r := InstanceResult{Instance: inst, Detected: true}
-		detecting := map[int]int{} // op index -> number of resolutions confirming
+		for i := range detecting {
+			detecting[i] = 0
+		}
 		for _, tr := range traces {
 			if !fsm.Detects(inst.Machine, tr.trace) {
 				r.Detected = false
@@ -140,7 +173,7 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 			}
 		}
 		for op, cnt := range detecting {
-			if cnt == len(resolutions) {
+			if cnt == len(resolutions) && cnt > 0 {
 				r.DetectingOps = append(r.DetectingOps, op)
 			}
 		}
@@ -153,7 +186,7 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 			if err := budget.CtxErr(ctx); err != nil {
 				return InstanceResult{}, err
 			}
-			return one(instances[i]), nil
+			return one(instances[i], make([]int, numOps)), nil
 		})
 		if err != nil {
 			return Coverage{}, err
@@ -161,11 +194,12 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 		cov.Results = results
 		return cov, nil
 	}
+	detecting := make([]int, numOps)
 	for _, inst := range instances {
 		if err := budget.CtxErr(ctx); err != nil {
 			return Coverage{}, err
 		}
-		cov.Results = append(cov.Results, one(inst))
+		cov.Results = append(cov.Results, one(inst, detecting))
 	}
 	return cov, nil
 }
@@ -186,18 +220,71 @@ type Run struct {
 // and every ⇕ resolution, reporting per-run mismatch attribution. The test
 // detects the instance exactly when every run has at least one mismatch;
 // this is the granularity at which the Coverage Matrix of the paper's
-// Section 6 is built.
+// Section 6 is built. It runs on the bit-parallel kernel.
 func Runs(t *march.Test, inst fault.Instance) ([]Run, error) {
+	return RunsEngine(t, inst, Kernel)
+}
+
+// RunsEngine is Runs with an explicit engine choice (the scalar engine is
+// the differential tests' oracle).
+func RunsEngine(t *march.Test, inst fault.Instance, engine Engine) ([]Run, error) {
+	batch, err := RunsBatch(context.Background(), t, []fault.Instance{inst}, 1, engine)
+	if err != nil {
+		return nil, err
+	}
+	return batch[0], nil
+}
+
+// RunsBatch computes Runs for every instance of a fault list at once,
+// returning the per-instance run lists in instance order. On the kernel
+// engine the whole batch shares the lowered traces and the compiled
+// blocks, so the marginal cost per instance is a few bit operations per
+// trace position; the scalar engine fans the instances out over the
+// worker pool. Results are byte-identical across engines and worker
+// counts.
+func RunsBatch(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, engine Engine) ([][]Run, error) {
 	resolutions, err := Resolutions(t)
 	if err != nil {
 		return nil, err
 	}
+	if len(instances) == 0 {
+		return nil, nil
+	}
+	run := obs.From(ctx)
+	if engine == Kernel {
+		blocks, hits, compiles, berr := simd.CompiledBlocks(instances)
+		if berr != nil {
+			if run != nil {
+				run.Counter(obs.CounterScalarFallbacks).Inc()
+			}
+		} else {
+			traces := kernelTraces(t, resolutions)
+			observeKernel(run, blocks, hits, compiles, len(traces), len(instances))
+			return runsKernel(ctx, t, instances, workers, resolutions, traces, blocks)
+		}
+	}
+	return pool.MapCtx(ctx, pool.Size(workers), len(instances), func(i int) ([]Run, error) {
+		if err := budget.CtxErr(ctx); err != nil {
+			return nil, err
+		}
+		return runsScalar(t, instances[i], resolutions)
+	})
+}
+
+// runsScalar is the reference implementation of Runs: one closure-dispatch
+// machine walk per (initial content, ⇕ resolution), with a reusable
+// seen-ops scratch row replacing the old per-run map.
+func runsScalar(t *march.Test, inst fault.Instance, resolutions [][]march.Order) ([]Run, error) {
+	numOps := len(t.Ops())
+	seen := make([]bool, numOps)
 	var out []Run
 	for _, res := range resolutions {
 		trace, positions := Trace(t, res)
 		for _, init := range fsm.ConcreteStates() {
 			run := Run{Init: init, Resolution: res}
-			seen := map[int]bool{}
+			for i := range seen {
+				seen[i] = false
+			}
 			for _, k := range fsm.MismatchingReads(inst.Machine, trace, init) {
 				if op := positions[k]; op >= 0 && !seen[op] {
 					seen[op] = true

@@ -2,19 +2,26 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"marchgen/fault"
 	"marchgen/fsm"
+	"marchgen/internal/simd"
 	"marchgen/march"
 )
 
 // Memory is a simulated n-cell one-bit-per-cell RAM with at most one
 // injected fault instance (the customary single-fault assumption of memory
 // testing). Cell values are ternary: X models an uninitialised cell.
+// Faulty accesses run on the instance's machine compiled into dense LUTs
+// (see internal/simd), not on the closure form, so the per-operation cost
+// is two table lookups.
 type Memory struct {
 	cells []march.Bit
 	flt   *PlacedFault
+	lut   *simd.Compiled
+	// pair is the packed state index of the two placed cells, kept in
+	// sync with cells so faulty accesses never re-derive it.
+	pair uint8
 }
 
 // PlacedFault is a fault instance bound to concrete memory addresses: the
@@ -41,7 +48,12 @@ func NewMemory(n int, flt *PlacedFault) (*Memory, error) {
 	for k := range cells {
 		cells[k] = march.X
 	}
-	return &Memory{cells: cells, flt: flt}, nil
+	m := &Memory{cells: cells, flt: flt}
+	if flt != nil {
+		m.lut = simd.CompileInstance(flt.Instance)
+		m.pair = uint8(simd.StateIndex(fsm.S(cells[flt.A], cells[flt.B])))
+	}
+	return m, nil
 }
 
 // Size returns the number of cells.
@@ -49,57 +61,62 @@ func (m *Memory) Size() int { return len(m.cells) }
 
 // SetCell forces the content of a cell — used to enumerate initial memory
 // contents.
-func (m *Memory) SetCell(addr int, v march.Bit) { m.cells[addr] = v }
+func (m *Memory) SetCell(addr int, v march.Bit) {
+	m.cells[addr] = v
+	if m.flt != nil && (addr == m.flt.A || addr == m.flt.B) {
+		m.pair = uint8(simd.StateIndex(fsm.S(m.cells[m.flt.A], m.cells[m.flt.B])))
+	}
+}
 
 // Cell returns the raw stored content of a cell (bypassing the fault's
 // read behaviour).
 func (m *Memory) Cell(addr int) march.Bit { return m.cells[addr] }
 
-// pairState assembles the two-cell machine state from the placed cells.
-func (m *Memory) pairState() fsm.State {
-	return fsm.S(m.cells[m.flt.A], m.cells[m.flt.B])
-}
-
-// storePair writes the two-cell machine state back to the placed cells.
-func (m *Memory) storePair(s fsm.State) {
+// storePair writes the packed two-cell state back to the placed cells.
+func (m *Memory) storePair(idx uint8) {
+	m.pair = idx
+	s := simd.StateAt(int(idx))
 	m.cells[m.flt.A] = s.I
 	m.cells[m.flt.B] = s.J
 }
 
-// cellOf maps a faulty address to its model cell.
-func (m *Memory) cellOf(addr int) (fsm.Cell, bool) {
+// inputOf maps an access to a faulty address to the LUT input index.
+func (m *Memory) inputOf(addr int, write bool, data march.Bit) (int, bool) {
 	if m.flt == nil {
 		return 0, false
 	}
+	var cell int
 	switch addr {
 	case m.flt.A:
-		return fsm.CellI, true
+		cell = int(fsm.CellI)
 	case m.flt.B:
-		return fsm.CellJ, true
+		cell = int(fsm.CellJ)
 	default:
 		return 0, false
 	}
+	if write {
+		return 2*cell + int(data), true
+	}
+	return 4 + cell, true
 }
 
-// Write stores data at addr, routing through the fault machine when the
-// address is involved in the fault.
+// Write stores data at addr, routing through the fault machine's LUT when
+// the address is involved in the fault.
 func (m *Memory) Write(addr int, data march.Bit) {
-	if c, ok := m.cellOf(addr); ok {
-		in := fsm.Wr(c, data)
-		m.storePair(m.flt.Instance.Machine.Next(m.pairState(), in))
+	if in, ok := m.inputOf(addr, true, data); ok {
+		m.storePair(m.lut.Next[m.pair][in])
 		return
 	}
 	m.cells[addr] = data
 }
 
 // Read returns the value sensed at addr, applying the fault machine's read
-// output and read side effects when the address is involved in the fault.
+// output and read side effects (via the compiled LUTs) when the address is
+// involved in the fault.
 func (m *Memory) Read(addr int) march.Bit {
-	if c, ok := m.cellOf(addr); ok {
-		in := fsm.Rd(c)
-		s := m.pairState()
-		out := m.flt.Instance.Machine.Output(s, in)
-		m.storePair(m.flt.Instance.Machine.Next(s, in))
+	if in, ok := m.inputOf(addr, false, march.X); ok {
+		out := m.lut.Out[m.pair][in]
+		m.storePair(m.lut.Next[m.pair][in])
 		return out
 	}
 	return m.cells[addr]
@@ -111,7 +128,7 @@ func (m *Memory) Delay() {
 	if m.flt == nil {
 		return
 	}
-	m.storePair(m.flt.Instance.Machine.Next(m.pairState(), fsm.Wait))
+	m.storePair(m.lut.Next[m.pair][simd.NumInputs-1])
 }
 
 // RunMarch executes the March test on the memory under a concrete order
@@ -119,22 +136,19 @@ func (m *Memory) Delay() {
 // the test) of the read operations that observed a mismatch on at least one
 // address. The memory is mutated.
 func (m *Memory) RunMarch(t *march.Test, res []march.Order) []int {
-	mismatches := map[int]bool{}
+	numOps := len(t.Ops())
+	mismatched := make([]bool, numOps)
 	opBase := 0
 	for k, e := range t.Elements {
 		if e.Delay {
 			m.Delay()
 			continue
 		}
-		addrs := make([]int, m.Size())
-		for a := range addrs {
+		for a := 0; a < m.Size(); a++ {
+			addr := a
 			if res[k] == march.Down {
-				addrs[a] = m.Size() - 1 - a
-			} else {
-				addrs[a] = a
+				addr = m.Size() - 1 - a
 			}
-		}
-		for _, addr := range addrs {
 			for o, op := range e.Ops {
 				if op.IsWrite() {
 					m.Write(addr, op.Data)
@@ -142,16 +156,17 @@ func (m *Memory) RunMarch(t *march.Test, res []march.Order) []int {
 				}
 				got := m.Read(addr)
 				if got.Known() && got != op.Data {
-					mismatches[opBase+o] = true
+					mismatched[opBase+o] = true
 				}
 			}
 		}
 		opBase += len(e.Ops)
 	}
-	out := make([]int, 0, len(mismatches))
-	for k := range mismatches {
-		out = append(out, k)
+	var out []int
+	for op, hit := range mismatched {
+		if hit {
+			out = append(out, op)
+		}
 	}
-	sort.Ints(out)
 	return out
 }

@@ -1,0 +1,47 @@
+package simd
+
+import "math/bits"
+
+// Bitset is a dense little-endian bit vector backed by uint64 words —
+// the row representation of the Coverage Matrix's set-covering backend,
+// where column membership tests and coverage gains reduce to masked
+// popcounts.
+type Bitset []uint64
+
+// NewBitset returns a zeroed bitset with capacity for n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CountNotIn returns the number of bits set in b but not in other — the
+// greedy set-covering gain of row b over the already-covered columns.
+func (b Bitset) CountNotIn(other Bitset) int {
+	n := 0
+	for k, w := range b {
+		n += bits.OnesCount64(w &^ other[k])
+	}
+	return n
+}
+
+// OrWith folds other into b (b |= other).
+func (b Bitset) OrWith(other Bitset) {
+	for k, w := range other {
+		b[k] |= w
+	}
+}
+
+// Clone returns an independent copy of the bitset.
+func (b Bitset) Clone() Bitset { return append(Bitset(nil), b...) }
