@@ -12,7 +12,18 @@
 // requests), micro-batcher (overlapping model sets) and memo cache
 // (repeated lists) at once. Closed-loop means measured latency is honest
 // under overload: a saturated server slows the loop down instead of
-// building an unbounded client-side backlog.
+// building an unbounded client-side backlog. A 503 shed is retried up to
+// -retries times, honoring the server's Retry-After hint with capped
+// exponential backoff and jitter; the report counts the retries.
+//
+// -chaos switches marchload into a crash-recovery harness instead: it
+// starts its own marchserve subprocess with a durable job store, submits
+// a randomized job mix to /v1/jobs, repeatedly kill -9s and restarts the
+// server mid-run, and asserts that every job reaches a terminal state
+// with a result byte-identical to an uninterrupted local computation (or
+// a typed terminal error) — never a hang, never a vanished job.
+//
+//	marchload -chaos -server-bin ./marchserve -jobs 6 -kills 2
 //
 // Exit codes: 0 all requests succeeded (2xx), 1 some requests failed,
 // 2 usage error.
@@ -24,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +55,7 @@ type result struct {
 	coalesced bool
 	fromCache bool
 	shed      bool
+	retries   int
 }
 
 // Report is the JSON trajectory entry marchload appends to -o: one
@@ -61,6 +75,10 @@ type Report struct {
 	// in-flight run or a memo-cache hit.
 	Coalesced int `json:"coalesced"`
 	FromCache int `json:"from_cache"`
+	// Retries counts 503-shed attempts that were retried after the
+	// server's Retry-After hint (capped exponential backoff with jitter);
+	// a request only lands in Shed once its retry budget is spent.
+	Retries int `json:"retries"`
 	// ElapsedMS is the whole run's wall clock; ThroughputRPS is
 	// completed requests per second over it.
 	ElapsedMS     int64   `json:"elapsed_ms"`
@@ -82,11 +100,20 @@ func run() int {
 	faults := flag.String("faults", "SAF,TF;SAF,TF,ADF;SAF,TF,ADF,CFin;SAF,TF,ADF,CFin,CFid", "';'-separated fault lists the workers rotate through")
 	budgetSpec := flag.String("budget", "", "per-request soft budget spec forwarded to the server")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request timeout_ms forwarded to the server (0: server default)")
+	retries := flag.Int("retries", 4, "max retries per request after a 503 shed (Retry-After honored, capped backoff + jitter)")
 	out := flag.String("o", "", "append the run's report to this JSON trajectory file (e.g. BENCH_serve.json)")
+	chaosFlags := bindChaosFlags(flag.CommandLine)
 	flag.Parse()
 
+	if chaosFlags.enabled {
+		return chaosRun(chaosFlags)
+	}
 	if *n <= 0 || *c <= 0 {
 		fmt.Fprintln(os.Stderr, "marchload: -n and -c must be positive")
+		return budget.ExitUsage
+	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "marchload: -retries must be non-negative")
 		return budget.ExitUsage
 	}
 	lists := strings.Split(*faults, ";")
@@ -111,7 +138,7 @@ func run() int {
 				if i > int64(*n) {
 					return
 				}
-				res := fire(client, url, lists[int(i-1)%len(lists)], *budgetSpec, *timeoutMS)
+				res := fire(client, url, lists[int(i-1)%len(lists)], *budgetSpec, *timeoutMS, *retries)
 				mu.Lock()
 				results = append(results, res)
 				mu.Unlock()
@@ -128,8 +155,8 @@ func run() int {
 	rep.FaultLists = lists
 	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
 
-	fmt.Printf("requests: %d ok / %d shed / %d errors in %s (%.1f req/s)\n",
-		rep.OK, rep.Shed, rep.Errors, elapsed.Round(time.Millisecond), rep.ThroughputRPS)
+	fmt.Printf("requests: %d ok / %d shed / %d errors (%d retries) in %s (%.1f req/s)\n",
+		rep.OK, rep.Shed, rep.Errors, rep.Retries, elapsed.Round(time.Millisecond), rep.ThroughputRPS)
 	fmt.Printf("latency:  p50 %s  p90 %s  p99 %s  max %s\n",
 		time.Duration(rep.P50US)*time.Microsecond, time.Duration(rep.P90US)*time.Microsecond,
 		time.Duration(rep.P99US)*time.Microsecond, time.Duration(rep.MaxUS)*time.Microsecond)
@@ -147,32 +174,63 @@ func run() int {
 	return budget.ExitOK
 }
 
-// fire issues one generate request and measures it.
-func fire(client *http.Client, url, faults, budgetSpec string, timeoutMS int) result {
+// fire issues one generate request and measures it, retrying 503 sheds
+// up to maxRetries times. The server's Retry-After hint seeds the delay;
+// each retry doubles it (capped at 5s) with ±25% jitter so a herd of shed
+// workers doesn't re-arrive in lockstep. The measured latency covers the
+// whole exchange including backoff sleeps — a retried request is honest
+// about the time its caller actually waited.
+func fire(client *http.Client, url, faults, budgetSpec string, timeoutMS, maxRetries int) result {
 	body, _ := json.Marshal(map[string]any{
 		"faults":     faults,
 		"budget":     budgetSpec,
 		"timeout_ms": timeoutMS,
 	})
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return result{latency: time.Since(t0), status: 0}
+	var retries int
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return result{latency: time.Since(t0), status: 0, retries: retries}
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxRetries {
+			retries++
+			time.Sleep(backoff(resp.Header.Get("Retry-After"), attempt))
+			continue
+		}
+		var parsed struct {
+			Coalesced bool `json:"coalesced"`
+			FromCache bool `json:"from_cache"`
+		}
+		_ = json.Unmarshal(raw, &parsed)
+		return result{
+			latency:   time.Since(t0),
+			status:    resp.StatusCode,
+			coalesced: parsed.Coalesced,
+			fromCache: parsed.FromCache,
+			shed:      resp.StatusCode == http.StatusServiceUnavailable,
+			retries:   retries,
+		}
 	}
-	defer resp.Body.Close()
-	var parsed struct {
-		Coalesced bool `json:"coalesced"`
-		FromCache bool `json:"from_cache"`
+}
+
+// backoff computes the sleep before retry number attempt+1: the server's
+// Retry-After seconds (default 100ms when absent) doubled per attempt,
+// capped at 5s, jittered ±25%.
+func backoff(retryAfter string, attempt int) time.Duration {
+	base := 100 * time.Millisecond
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		base = time.Duration(secs) * time.Second
 	}
-	raw, _ := io.ReadAll(resp.Body)
-	_ = json.Unmarshal(raw, &parsed)
-	return result{
-		latency:   time.Since(t0),
-		status:    resp.StatusCode,
-		coalesced: parsed.Coalesced,
-		fromCache: parsed.FromCache,
-		shed:      resp.StatusCode == http.StatusServiceUnavailable,
+	d := base << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
 	}
+	// ±25% jitter.
+	j := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + j
 }
 
 // summarize folds the individual measurements into a Report.
@@ -195,6 +253,7 @@ func summarize(results []result, elapsed time.Duration) Report {
 		if r.fromCache {
 			rep.FromCache++
 		}
+		rep.Retries += r.retries
 		us := r.latency.Microseconds()
 		lat = append(lat, us)
 		sum += us

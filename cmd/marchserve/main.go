@@ -16,9 +16,20 @@
 // Retry-After hint. See docs/api.md for the wire schemas and the error
 // table.
 //
+// -store DIR additionally enables the durable job API (POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events): results are committed to
+// a crash-safe content-addressed store under DIR, repeated submissions
+// are cache hits, and a restarted server re-adopts incomplete jobs and
+// resumes them from their last checkpoint.
+//
 // SIGINT/SIGTERM drain gracefully: /readyz flips to 503, new requests are
-// shed, in-flight requests finish (bounded by -drain-timeout), then the
-// listener closes and the observability flags flush.
+// shed, in-flight requests finish (bounded by -drain-timeout), running
+// jobs suspend with a durable checkpoint, then the listener closes and
+// the observability flags flush.
+//
+// The MARCHCHAOS environment variable installs storage failpoints (see
+// internal/chaos for the spec grammar, e.g. "fsync=0.01;kill=10") — the
+// fault-injection hook the chaos harness (marchload -chaos) leans on.
 //
 // Exit codes: 0 clean shutdown, 1 listener failure, 2 usage error.
 package main
@@ -36,8 +47,10 @@ import (
 
 	"marchgen"
 	"marchgen/internal/budget"
+	"marchgen/internal/chaos"
 	"marchgen/internal/obs"
 	"marchgen/internal/serve"
+	"marchgen/internal/store"
 )
 
 func main() { os.Exit(run()) }
@@ -51,6 +64,7 @@ func run() int {
 	budgetSpec := flag.String("budget", "", "default soft budget for generate requests, e.g. nodes=100000,soft=2s")
 	workers := flag.Int("workers", 0, "default engine worker-pool size (0: GOMAXPROCS)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gathering window (0: default 500µs; negative: disable batching)")
+	storeDir := flag.String("store", "", "durable job store directory (enables the /v1/jobs API; empty: jobs disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,12 +81,29 @@ func run() int {
 		return budget.ExitUsage
 	}
 
+	if spec := os.Getenv("MARCHCHAOS"); spec != "" {
+		if err := chaos.Enable(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "marchserve: MARCHCHAOS:", err)
+			return budget.ExitUsage
+		}
+		fmt.Fprintf(os.Stderr, "marchserve: chaos failpoints armed: %s\n", spec)
+	}
+
 	orun, finish, err := obsFlags.Start(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchserve:", err)
 		return budget.ExitUsage
 	}
 	defer finish()
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchserve:", err)
+			return budget.ExitFail
+		}
+	}
 
 	srv := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
@@ -82,8 +113,12 @@ func run() int {
 		DefaultBudget:  *budgetSpec,
 		Workers:        w,
 		BatchWindow:    *batchWindow,
+		Store:          st,
 		Obs:            orun,
 	})
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "marchserve: job store %s (%d incomplete jobs re-adopted)\n", *storeDir, srv.RecoveredJobs())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

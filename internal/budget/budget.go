@@ -377,6 +377,20 @@ func IsHard(err error) bool {
 	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
 }
 
+// IsTerminal classifies a pipeline error for the durable job layer:
+// terminal errors describe the request itself (bad usage, an unsupported
+// fault list, an exhausted budget, an engine bug, the job's own expired
+// deadline) and re-running cannot change them, so the job fails with a
+// typed record. Non-terminal errors — ErrCanceled above all, which is
+// what a run observes when its process is draining or dying — describe
+// the attempt, and the job resumes from its last checkpoint on the next
+// start instead of failing.
+// Unknown errors (parse failures, store I/O) are conservatively terminal
+// as well: only a cancellation is evidence that re-running could succeed.
+func IsTerminal(err error) bool {
+	return err != nil && !errors.Is(err, ErrCanceled)
+}
+
 // Process exit codes shared by the cmd/ CLIs so scripts can tell an
 // optimal run from a degraded, canceled or failed one.
 const (

@@ -1,0 +1,228 @@
+// Package chaos is the fault-injection layer behind the crash-safety
+// guarantees of the durable job subsystem. It exposes named failpoints —
+// points in the storage and checkpoint paths where an injected failure
+// can be made to fire with a configured probability — so tests and the
+// chaos-smoke CI job can prove that a job interrupted at any of them
+// either completes byte-identically to an uninterrupted run or reports a
+// typed terminal error, never hangs or vanishes.
+//
+// Failpoints are inert unless explicitly enabled (Enable or the
+// MARCHCHAOS environment variable read by cmd/marchserve): a disabled
+// check is one atomic load. Injection is deterministic for a given spec:
+// the firing sequence depends only on the seed and the order of checks,
+// so a failing chaos run reproduces under the same spec.
+//
+// The spec grammar is a comma-separated list of key=value pairs:
+//
+//	fsync=0.5        store fsync calls fail with probability 0.5
+//	partial=0.2      store writes are torn mid-buffer with probability 0.2
+//	rename=0.1       store commit renames fail with probability 0.1
+//	slow=2ms         every store write stalls for 2ms
+//	kill=0.05        the process dies (SIGKILL-style, exit 137) at a
+//	                 checkpoint boundary with probability 0.05
+//	seed=7           PRNG seed (default 1)
+//
+// The known probability points are named by the Point* constants; an
+// unknown key is a usage error.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The failpoints wired into the storage and job layers. Each names the
+// operation it sabotages; the spec keys above map onto them.
+const (
+	// PointFsync fails the data-file fsync in store.Put.
+	PointFsync = "store.fsync"
+	// PointPartial tears a store.Put data write mid-buffer: half the
+	// bytes land in the temp file, then the write errors out, leaving the
+	// torn temp file behind exactly as a mid-write crash would.
+	PointPartial = "store.partial"
+	// PointRename fails the atomic commit rename in store.Put.
+	PointRename = "store.rename"
+	// PointSlow stalls every store write (a duration point, not a
+	// probability point).
+	PointSlow = "store.slow"
+	// PointKill terminates the process with exit code 137 (the kill -9
+	// convention) immediately after a job checkpoint is persisted — the
+	// "kill between checkpoints" failure the resume machinery must absorb.
+	PointKill = "job.kill"
+)
+
+// ErrInjected is the sentinel all injected failures wrap; match with
+// errors.Is to tell sabotage from real I/O errors in tests.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// InjectedError is one fired failpoint.
+type InjectedError struct {
+	// Point names the failpoint that fired.
+	Point string
+}
+
+// Error names the failpoint that fired.
+func (e *InjectedError) Error() string { return "chaos: injected fault at " + e.Point }
+
+// Is makes errors.Is(err, ErrInjected) succeed.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Points is one failpoint configuration: per-point firing probabilities,
+// the slow-write stall, and fired-count accounting. Safe for concurrent
+// use. The zero value has every point disabled.
+type Points struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	probs map[string]float64
+	slow  time.Duration
+
+	counts sync.Map // point name -> *atomic.Int64
+}
+
+// Parse builds a Points from the spec grammar in the package comment.
+// The empty string parses to a fully disabled configuration.
+func Parse(spec string) (*Points, error) {
+	p := &Points{probs: map[string]float64{}}
+	seed := int64(1)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		p.rng = rand.New(rand.NewSource(seed))
+		return p, nil
+	}
+	alias := map[string]string{
+		"fsync":   PointFsync,
+		"partial": PointPartial,
+		"rename":  PointRename,
+		"kill":    PointKill,
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: malformed entry %q (want key=value)", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q", val)
+			}
+			seed = n
+		case "slow":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("chaos: bad slow duration %q", val)
+			}
+			p.slow = d
+		default:
+			point, ok := alias[key]
+			if !ok {
+				return nil, fmt.Errorf("chaos: unknown failpoint %q (known: fsync, partial, rename, slow, kill, seed)", key)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("chaos: bad probability %q for %s (want [0,1])", val, key)
+			}
+			p.probs[point] = f
+		}
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	return p, nil
+}
+
+// Fail reports whether the named failpoint fires, returning an
+// *InjectedError when it does (and counting the hit). Nil-safe: a nil
+// Points never fires.
+func (p *Points) Fail(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	prob := p.probs[point]
+	fired := prob > 0 && p.rng.Float64() < prob
+	p.mu.Unlock()
+	if !fired {
+		return nil
+	}
+	p.count(point)
+	return &InjectedError{Point: point}
+}
+
+// Sleep stalls for the configured slow-write duration (a no-op when none
+// is configured), counting the stall.
+func (p *Points) Sleep() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	d := p.slow
+	p.mu.Unlock()
+	if d <= 0 {
+		return
+	}
+	p.count(PointSlow)
+	time.Sleep(d)
+}
+
+// Kill terminates the process with exit code 137 when the kill
+// failpoint fires — the injectable "kill -9 between checkpoints". The
+// caller never observes the firing; the process is simply gone, exactly
+// like an external SIGKILL.
+func (p *Points) Kill() {
+	if p.Fail(PointKill) != nil {
+		os.Exit(137)
+	}
+}
+
+// Count reports how many times the named point has fired.
+func (p *Points) Count(point string) int64 {
+	if p == nil {
+		return 0
+	}
+	if c, ok := p.counts.Load(point); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+func (p *Points) count(point string) {
+	c, ok := p.counts.Load(point)
+	if !ok {
+		c, _ = p.counts.LoadOrStore(point, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// active is the process-wide failpoint configuration consulted by the
+// storage and job layers; nil (the default) disables everything.
+var active atomic.Pointer[Points]
+
+// Enable installs the process-wide failpoint configuration from spec.
+func Enable(spec string) error {
+	p, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	active.Store(p)
+	return nil
+}
+
+// Install makes p the process-wide configuration (tests use this to
+// share counters with the code under sabotage). A nil p disables
+// injection.
+func Install(p *Points) { active.Store(p) }
+
+// Disable removes the process-wide configuration.
+func Disable() { active.Store(nil) }
+
+// Active returns the process-wide configuration, nil when chaos is off.
+// All Points methods are nil-safe, so call sites chain unconditionally:
+// chaos.Active().Fail(chaos.PointFsync).
+func Active() *Points { return active.Load() }

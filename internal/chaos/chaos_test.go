@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("fsync=0.5,partial=0.25,rename=1,slow=3ms,kill=0,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.probs[PointFsync] != 0.5 || p.probs[PointPartial] != 0.25 || p.probs[PointRename] != 1 {
+		t.Fatalf("probs = %v", p.probs)
+	}
+	if p.slow != 3*time.Millisecond {
+		t.Fatalf("slow = %v", p.slow)
+	}
+	for _, bad := range []string{"fsync", "fsync=2", "fsync=-1", "nope=0.1", "slow=-1ms", "seed=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	if p, err := Parse(""); err != nil || p.Fail(PointFsync) != nil {
+		t.Fatal("empty spec must be fully disabled")
+	}
+}
+
+func TestFailDeterministicAndCounted(t *testing.T) {
+	fire := func() []bool {
+		p, err := Parse("rename=0.5,seed=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = p.Fail(PointRename) != nil
+		}
+		return out
+	}
+	a, b := fire(), fire()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("firing sequence not deterministic for equal specs")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+
+	p, _ := Parse("fsync=1,seed=1")
+	err := p.Fail(PointFsync)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not match ErrInjected: %v", err)
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Point != PointFsync {
+		t.Fatalf("injected error lost its point: %v", err)
+	}
+	p.Fail(PointFsync)
+	if p.Count(PointFsync) != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count(PointFsync))
+	}
+	if p.Count(PointRename) != 0 {
+		t.Fatal("unfired point counted")
+	}
+}
+
+func TestNilPointsInert(t *testing.T) {
+	var p *Points
+	if p.Fail(PointFsync) != nil {
+		t.Fatal("nil Points fired")
+	}
+	p.Sleep()
+	if p.Count(PointSlow) != 0 {
+		t.Fatal("nil Points counted")
+	}
+}
+
+func TestProcessWideInstall(t *testing.T) {
+	defer Disable()
+	if Active() != nil {
+		t.Fatal("chaos active before Enable")
+	}
+	if err := Enable("fsync=1"); err != nil {
+		t.Fatal(err)
+	}
+	if Active().Fail(PointFsync) == nil {
+		t.Fatal("enabled failpoint did not fire")
+	}
+	Disable()
+	if Active().Fail(PointFsync) != nil {
+		t.Fatal("disabled failpoint fired")
+	}
+	if err := Enable("bogus=1"); err == nil {
+		t.Fatal("Enable accepted a bad spec")
+	}
+}

@@ -1,0 +1,107 @@
+// Durable-checkpoint support: the memo codec that lets the engine's
+// intermediate artifacts survive process death. The async job subsystem
+// (internal/jobs) attaches a disk tier to the shared memo cache; this
+// codec decides which cache values cross to disk and how.
+//
+// Persisted kinds are exactly the per-subproblem artifacts the pipeline
+// checkpoints through at stage boundaries:
+//
+//   - tour fragments: each §5 selection's solved exact-ATSP incumbent
+//     (every optimal open path of one TPG weight matrix plus its cost),
+//     keyed by the weight-matrix fingerprint — the expensive part of a
+//     run, written the moment each selection's solve completes;
+//   - completeness verdicts: one simulator verdict per candidate March
+//     test, keyed by fault list and test signature.
+//
+// Coverage matrices and whole cached results stay memory-only: the
+// former rebuild quickly from the bit-parallel kernel, the latter are
+// superseded by the job result store. Because memo values are pure
+// functions of their content-hash keys, a resumed run that loads these
+// entries recomputes nothing it already finished and still produces
+// byte-identical output.
+package core
+
+import (
+	"encoding/json"
+
+	"marchgen/internal/memo"
+)
+
+// persist tags the on-disk encodings; a version byte first so a future
+// layout change can't misparse old stores.
+const (
+	persistVersion  = 1
+	persistKindTour = "tour"
+	persistKindBool = "verdict"
+)
+
+// persistEnvelope is the JSON wrapper around every persisted memo value.
+type persistEnvelope struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// persistTour is the wire form of a tourFragment.
+type persistTour struct {
+	Paths [][]int `json:"paths"`
+	Cost  int     `json:"cost"`
+}
+
+// memoCodec implements memo.Codec over the engine's persistable values.
+type memoCodec struct{}
+
+// Codec returns the memo.Codec covering the generation engine's
+// persistable cache values: exact-ATSP tour fragments and completeness
+// verdicts. Values outside those kinds are reported non-persistable and
+// stay memory-only.
+func Codec() memo.Codec { return memoCodec{} }
+
+func (memoCodec) Encode(val any) ([]byte, bool) {
+	var env persistEnvelope
+	env.V = persistVersion
+	switch v := val.(type) {
+	case *tourFragment:
+		data, err := json.Marshal(persistTour{Paths: v.paths, Cost: v.cost})
+		if err != nil {
+			return nil, false
+		}
+		env.Kind, env.Data = persistKindTour, data
+	case bool:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return nil, false
+		}
+		env.Kind, env.Data = persistKindBool, data
+	default:
+		return nil, false
+	}
+	out, err := json.Marshal(env)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func (memoCodec) Decode(data []byte) (any, bool) {
+	var env persistEnvelope
+	if json.Unmarshal(data, &env) != nil || env.V != persistVersion {
+		return nil, false
+	}
+	switch env.Kind {
+	case persistKindTour:
+		var t persistTour
+		if json.Unmarshal(env.Data, &t) != nil || len(t.Paths) == 0 {
+			return nil, false
+		}
+		return &tourFragment{paths: t.Paths, cost: t.Cost}, true
+	case persistKindBool:
+		var v bool
+		if json.Unmarshal(env.Data, &v) != nil {
+			return nil, false
+		}
+		return v, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,33 @@
+package jobs
+
+import (
+	"marchgen/internal/memo"
+	"marchgen/internal/store"
+)
+
+// memoTier adapts the store's NSMemo namespace as the memo cache's
+// durable second level: attach it with memo.Shared().AttachDisk together
+// with the internal/core codec and the engine's expensive intermediate
+// artifacts (exact-ATSP tour fragments, completeness verdicts) survive
+// process death — the substrate of checkpoint resume.
+type memoTier struct{ s *store.Store }
+
+// MemoTier returns the memo.DiskTier persisting into st's NSMemo
+// namespace. Store errors are absorbed as misses / dropped writes,
+// matching the DiskTier contract: durability here is an optimisation,
+// never a correctness dependency.
+func MemoTier(st *store.Store) memo.DiskTier { return memoTier{s: st} }
+
+// Get reads a persisted memo entry; any store error is a miss.
+func (t memoTier) Get(key string) ([]byte, bool) {
+	data, err := t.s.Get(NSMemo, key)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put persists a memo entry; write failures are dropped.
+func (t memoTier) Put(key string, data []byte) {
+	_ = t.s.Put(NSMemo, key, data)
+}

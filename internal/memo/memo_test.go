@@ -92,6 +92,179 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestConcurrentEvictionAndReset races Put/Get-driven LRU eviction
+// against ResetCache-style Reset and Snapshot calls on a tiny cache, the
+// exact interleaving a server sees when a benchmark resets the shared
+// cache mid-traffic. Run under -race -cpu 1,4 in CI; the assertions are
+// only sanity bounds — the race detector is the real check.
+func TestConcurrentEvictionAndReset(t *testing.T) {
+	c := New(4) // tiny: every Put beyond 4 live keys evicts
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("k%d", (g*31+i)%16)
+				c.Put(k, i)
+				c.Get(k)
+				c.Get(fmt.Sprintf("k%d", i%16))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Reset()
+			s := c.Snapshot()
+			if s.Entries > 4 {
+				t.Errorf("capacity exceeded after Reset: %d", s.Entries)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.Snapshot()
+			c.Len()
+			c.Stats()
+		}
+	}()
+	// Let the mutators run against the resets, then stop them.
+	for i := 0; i < 2000; i++ {
+		c.Get("k0")
+	}
+	close(stop)
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+// fakeTier is an in-memory memo.DiskTier for tier-behaviour tests.
+type fakeTier struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	puts int
+}
+
+func (f *fakeTier) Get(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.m[key]
+	return v, ok
+}
+
+func (f *fakeTier) Put(key string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = map[string][]byte{}
+	}
+	f.m[key] = append([]byte(nil), data...)
+	f.puts++
+}
+
+// intCodec persists int values only (everything else stays memory-only).
+type intCodec struct{}
+
+func (intCodec) Encode(val any) ([]byte, bool) {
+	if v, ok := val.(int); ok {
+		return []byte(fmt.Sprintf("%d", v)), true
+	}
+	return nil, false
+}
+
+func (intCodec) Decode(data []byte) (any, bool) {
+	var v int
+	if _, err := fmt.Sscanf(string(data), "%d", &v); err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func TestDiskTierWriteThroughAndPromote(t *testing.T) {
+	tier := &fakeTier{}
+	c := New(2)
+	c.AttachDisk(tier, intCodec{})
+
+	c.Put("a", 1)     // persistable: written through
+	c.Put("b", "str") // not persistable: memory only
+	if tier.puts != 1 {
+		t.Fatalf("tier puts = %d, want 1", tier.puts)
+	}
+	// Evict "a" from memory; the tier must serve and re-promote it.
+	c.Put("c", 3)
+	c.Put("d", 4)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("evicted entry not served from tier: %v, %v", v, ok)
+	}
+	if s := c.Snapshot(); s.DiskHits != 1 {
+		t.Fatalf("DiskHits = %d, want 1", s.DiskHits)
+	}
+	// Promotion back into memory must not have re-written the tier.
+	if tier.puts != 3 {
+		t.Fatalf("tier puts after promote = %d, want 3 (a, c, d)", tier.puts)
+	}
+	// Reset clears memory only; the tier still restores the entry.
+	c.Reset()
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("tier lost entry across Reset: %v, %v", v, ok)
+	}
+	// A second cache over the same tier sees the entries: the restart story.
+	c2 := New(8)
+	c2.AttachDisk(tier, intCodec{})
+	if v, ok := c2.Get("d"); !ok || v.(int) != 4 {
+		t.Fatalf("fresh cache over same tier missed: %v, %v", v, ok)
+	}
+	if _, ok := c2.Get("b"); ok {
+		t.Fatal("non-persistable value crossed the tier")
+	}
+	c.DetachDisk()
+	c.Reset()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("detached tier still serving")
+	}
+}
+
+// TestDiskTierConcurrentAttach races attach/detach against traffic (the
+// server attaches the store tier at startup while requests may already
+// be running in tests).
+func TestDiskTierConcurrentAttach(t *testing.T) {
+	tier := &fakeTier{}
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("k%d", i%12)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.AttachDisk(tier, intCodec{})
+			c.DetachDisk()
+		}
+	}()
+	wg.Wait()
+}
+
 // TestFingerprinterFraming checks that the length-prefixed framing
 // prevents concatenation aliasing and that namespaces separate key spaces.
 func TestFingerprinterFraming(t *testing.T) {

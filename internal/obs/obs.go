@@ -28,6 +28,7 @@ package obs
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -50,6 +51,12 @@ type Run struct {
 
 	sink     sink
 	deferred deferredTrace
+
+	// observers are live span-completion callbacks (Notify): the async
+	// job layer turns finished spans into streaming progress events and
+	// checkpoint triggers without a sink round-trip through bytes.
+	obsMu     sync.RWMutex
+	observers []func(Event)
 }
 
 // NewRun starts an observed run.
@@ -88,6 +95,30 @@ func (r *Run) WithPhase(s *Span) func() {
 	}
 	prev := r.phase.Swap(s)
 	return func() { r.phase.Store(prev) }
+}
+
+// Notify registers fn to be invoked synchronously with every span the
+// run finishes from now on, in End order, possibly from many goroutines
+// at once. fn must be fast and must not call back into the run's span
+// machinery; the job event layer uses it to stream stage/progress events
+// and trigger durable checkpoints. Nil-safe.
+func (r *Run) Notify(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.observers = append(r.observers, fn)
+	r.obsMu.Unlock()
+}
+
+// notify fans a finished span out to the registered observers.
+func (r *Run) notify(ev Event) {
+	r.obsMu.RLock()
+	fns := r.observers
+	r.obsMu.RUnlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
 }
 
 // StartUnder opens a span parented to the current pipeline phase (the

@@ -151,6 +151,7 @@ func (r *Run) record(ev Event) {
 	sh.events = append(sh.events, ev)
 	sh.mu.Unlock()
 	r.sink.write(ev)
+	r.notify(ev)
 }
 
 // Events returns every finished span in sequence order. The sequence is

@@ -43,7 +43,11 @@ import (
 	"time"
 
 	"marchgen"
+	"marchgen/internal/core"
+	"marchgen/internal/jobs"
+	"marchgen/internal/memo"
 	"marchgen/internal/obs"
+	"marchgen/internal/store"
 )
 
 // Config tunes a Server. The zero value of any field selects the
@@ -82,6 +86,12 @@ type Config struct {
 	// one when nil; cmd/marchserve passes the run bound to its -trace /
 	// -metrics flags so a drained server leaves a complete trace behind.
 	Obs *obs.Run
+	// Store, when non-nil, enables the async job API (/v1/jobs): job
+	// records and results persist here, the shared memo cache gains a
+	// durable tier over it (so checkpointed engine artifacts survive
+	// restarts), and New re-adopts any job a previous process left
+	// unfinished. Nil disables the job endpoints with 503 jobs_disabled.
+	Store *store.Store
 }
 
 // DefaultConfig returns the production defaults described on Config.
@@ -118,6 +128,11 @@ type Server struct {
 
 	group   *group
 	batcher *batcher
+
+	// store/jobs are the durable job subsystem, nil without Config.Store.
+	store     *store.Store
+	jobs      *jobs.Manager
+	recovered int
 
 	// testLeaderGate, when non-nil, blocks every coalescing leader just
 	// before its engine run until the channel is closed — a test-only
@@ -161,8 +176,37 @@ func New(cfg Config) *Server {
 	}
 	s.group = newGroup(s.run)
 	s.batcher = newBatcher(s, cfg.BatchWindow)
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		// The durable memo tier makes the engine's checkpointed artifacts
+		// (tour fragments, verdicts) survive process death — the substrate
+		// resumed jobs rebuild from.
+		memo.Shared().AttachDisk(jobs.MemoTier(cfg.Store), core.Codec())
+		mgr, err := jobs.NewManager(jobs.Config{
+			Store: cfg.Store,
+			Exec:  s.executeJob,
+			ErrCode: func(err error) string {
+				_, code := httpStatus(err)
+				return code
+			},
+			Obs: s.run,
+		})
+		if err == nil { // only fails on nil Store/Exec, impossible here
+			s.jobs = mgr
+			n, rerr := mgr.Recover()
+			if rerr != nil {
+				s.run.Counter("serve.jobs.recover_errors").Inc()
+			}
+			s.recovered = n
+			s.run.Counter("serve.jobs.recovered").Add(int64(n))
+		}
+	}
 	return s
 }
+
+// RecoveredJobs reports how many unfinished jobs New re-adopted from the
+// durable store (cmd/marchserve logs it at startup).
+func (s *Server) RecoveredJobs() int { return s.recovered }
 
 // Run returns the server-lifetime observability run: request spans,
 // aggregated engine metrics, admission counters.
@@ -174,6 +218,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -194,16 +241,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain blocks until every admitted request has completed, or until ctx
 // expires (returning its error). It does not itself stop admission —
-// call BeginDrain first.
+// call BeginDrain first. With a job store configured, Drain then
+// suspends running jobs: each persists a checkpointed record and the
+// next process resumes it (Recover in New).
 func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if s.jobs != nil {
+		return s.jobs.Close(ctx)
+	}
+	return nil
 }
 
 // requestID returns the client-supplied X-Request-Id or mints a
@@ -288,6 +340,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// The drain hint matches shed responses: load balancers and
+		// marchload back off the same way for both.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
@@ -308,6 +363,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap["memo.shared.hits"] = int64(ci.Hits)
 	snap["memo.shared.misses"] = int64(ci.Misses)
 	snap["memo.shared.evictions"] = int64(ci.Evictions)
+	snap["memo.shared.disk_hits"] = int64(ci.DiskHits)
 	snap["memo.shared.entries"] = int64(ci.Entries)
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"marchgen/internal/chaos"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("jobs", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+	if err := s.Put("jobs", "a", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("jobs", "a")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite is atomic replacement.
+	if err := s.Put("jobs", "a", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("jobs", "a"); string(got) != "v2" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if !s.Has("jobs", "a") || s.Has("jobs", "b") {
+		t.Fatal("Has is wrong")
+	}
+	if err := s.Delete("jobs", "a"); err != nil || s.Has("jobs", "a") {
+		t.Fatal("Delete failed")
+	}
+	if err := s.Delete("jobs", "a"); err != nil {
+		t.Fatalf("deleting an absent key: %v", err)
+	}
+}
+
+func TestListSortedAndTmpInvisible(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"c", "a", "b"} {
+		if err := s.Put("results", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray temp file (a crashed write) must be invisible to List/Get.
+	tmp := filepath.Join(s.Root(), "results", tmpPrefix+"99-z")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List("results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(keys, ",") != "a,b,c" {
+		t.Fatalf("List = %v", keys)
+	}
+	if keys, _ := s.List("nothere"); keys != nil {
+		t.Fatalf("absent namespace listed %v", keys)
+	}
+}
+
+func TestOpenSweepsCrashedWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("jobs", "keep", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "jobs", tmpPrefix+"7-dead")
+	if err := os.WriteFile(torn, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("reopen did not sweep the crashed temp file")
+	}
+	if _, err := s.Get("jobs", "keep"); err != nil {
+		t.Fatalf("committed key lost on reopen: %v", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "a/b", `a\b`, ".hidden", "../escape"} {
+		if err := s.Put("jobs", k, []byte("x")); err == nil {
+			t.Fatalf("Put accepted key %q", k)
+		}
+		if err := s.Put(k, "ok", []byte("x")); err == nil {
+			t.Fatalf("Put accepted namespace %q", k)
+		}
+	}
+}
+
+// TestChaosInjection proves the atomicity contract under every injected
+// failure: a failed Put leaves the previous committed value (or its
+// absence) fully intact, and a torn write is never reader-visible.
+func TestChaosInjection(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"fsync error", "fsync=1"},
+		{"partial write", "partial=1"},
+		{"rename failure", "rename=1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("jobs", "k", []byte("committed")); err != nil {
+				t.Fatal(err)
+			}
+			pts, err := chaos.Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos.Install(pts)
+			defer chaos.Disable()
+			err = s.Put("jobs", "k", []byte("doomed-update"))
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("sabotaged Put: %v, want injected error", err)
+			}
+			err = s.Put("jobs", "fresh", []byte("doomed-new"))
+			if !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("sabotaged fresh Put: %v", err)
+			}
+			chaos.Disable()
+			if got, err := s.Get("jobs", "k"); err != nil || string(got) != "committed" {
+				t.Fatalf("previous value corrupted: %q, %v", got, err)
+			}
+			if _, err := s.Get("jobs", "fresh"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("failed new write became visible: %v", err)
+			}
+			keys, _ := s.List("jobs")
+			if strings.Join(keys, ",") != "k" {
+				t.Fatalf("List sees ghost keys: %v", keys)
+			}
+		})
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				val := fmt.Sprintf("g%d-i%d", g, i)
+				if err := s.Put("memo", key, []byte(val)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, err := s.Get("memo", key); err != nil || len(got) == 0 {
+					t.Errorf("Get %s: %q, %v", key, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys, err := s.List("memo")
+	if err != nil || len(keys) != 10 {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+}
