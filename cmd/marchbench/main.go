@@ -58,6 +58,8 @@ func run() int {
 	label := flag.String("label", "kernel", "label of the bench-file entry this run writes")
 	requireKernel := flag.Bool("require-kernel", false,
 		"fail unless the instrumented run used the bit-parallel kernel with no scalar fallback")
+	requireSolverGain := flag.Float64("require-solver-gain", 0,
+		"fail unless the warm solver cuts total exact-solver nodes by at least this factor on every complexity-6 row, with the joint solver no worse (0: don't check)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if *reps <= 0 {
@@ -130,6 +132,20 @@ func run() int {
 		// the generated test and its full instance list.
 		if err := measureEval(&row, *reps, ires.Test, ires.Instances); err != nil {
 			return fail(spec.Faults, err)
+		}
+		// Solver modes: total exact-solver nodes and wall time per mode,
+		// single worker and cold cache so the counts are deterministic.
+		if err := measureSolver(&row, *reps, spec.Faults, t); err != nil {
+			return fail(spec.Faults, err)
+		}
+		if *requireSolverGain > 0 && spec.PaperComplexity == 6 {
+			if float64(row.SolverNodesEnumerate) < *requireSolverGain*float64(row.SolverNodesWarm) ||
+				row.SolverNodesJoint >= row.SolverNodesEnumerate {
+				fmt.Fprintf(os.Stderr, "marchbench: %s: solver gain below %.1fx (enumerate=%d warm=%d joint=%d nodes)\n",
+					spec.Faults, *requireSolverGain,
+					row.SolverNodesEnumerate, row.SolverNodesWarm, row.SolverNodesJoint)
+				return budget.ExitFail
+			}
 		}
 		// Cached: prime the shared cache once, then measure warm hits.
 		marchgen.ResetCache()
@@ -232,6 +248,52 @@ func measureEval(row *experiments.BenchRow, reps int, t *march.Test, instances [
 	if row.KernelEvalNS > 0 {
 		row.SpeedupKernel = float64(row.ScalarEvalNS) / float64(row.KernelEvalNS)
 	}
+	return nil
+}
+
+// measureSolver fills the row's solver-mode columns: one instrumented
+// single-worker cold-cache generation per mode for the deterministic node
+// totals (Held–Karp states + branch-and-bound expansions + enumeration
+// nodes), plus timed repetitions of the warm and joint modes. Every mode
+// must reproduce the baseline test byte for byte.
+func measureSolver(row *experiments.BenchRow, reps int, faults, baseline string) error {
+	ctx := context.Background()
+	for _, mode := range []string{marchgen.SolverEnumerate, marchgen.SolverWarm, marchgen.SolverJoint} {
+		res, err := marchgen.GenerateCtx(ctx, faults,
+			marchgen.WithSolverMode(mode), marchgen.WithWorkers(1),
+			marchgen.WithoutCache(), marchgen.WithMetrics())
+		if err != nil {
+			return err
+		}
+		if s := res.Test.String(); s != baseline {
+			return fmt.Errorf("solver mode %s diverges: %q vs %q", mode, s, baseline)
+		}
+		m := res.Stats.Metrics
+		total := m["atsp.heldkarp.states"] + m["atsp.bb.expanded"] + m["atsp.enum.nodes"]
+		switch mode {
+		case marchgen.SolverEnumerate:
+			row.SolverNodesEnumerate = total
+		case marchgen.SolverWarm:
+			row.SolverNodesWarm = total
+		case marchgen.SolverJoint:
+			row.SolverNodesJoint = total
+		}
+	}
+	if row.SolverNodesWarm > 0 {
+		row.SolverNodeReduction = float64(row.SolverNodesEnumerate) / float64(row.SolverNodesWarm)
+	}
+	warm, _, err := measure(ctx, reps, faults,
+		marchgen.WithSolverMode(marchgen.SolverWarm), marchgen.WithWorkers(1), marchgen.WithoutCache())
+	if err != nil {
+		return err
+	}
+	row.SolverWarmNS = warm.Nanoseconds()
+	joint, _, err := measure(ctx, reps, faults,
+		marchgen.WithSolverMode(marchgen.SolverJoint), marchgen.WithWorkers(1), marchgen.WithoutCache())
+	if err != nil {
+		return err
+	}
+	row.SolverJointNS = joint.Nanoseconds()
 	return nil
 }
 

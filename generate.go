@@ -50,6 +50,30 @@ func WithBeamWidth(n int) Option {
 	return func(o *core.Options) { o.Beam = gts.Options{BeamWidth: n, MaxCandidates: o.Beam.MaxCandidates} }
 }
 
+// Solver modes for WithSolverMode. The generated test and every statistic
+// except timing and solver-effort metrics are byte-identical in all modes.
+const (
+	// SolverEnumerate solves every §5 class selection cold (the default).
+	SolverEnumerate = core.SolverEnumerate
+	// SolverWarm threads each selection's solution into the next exact
+	// solve as a branch-and-bound warm start.
+	SolverWarm = core.SolverWarm
+	// SolverJoint is SolverWarm plus a joint search over the selection
+	// tree itself: duplicate selection subtrees are pruned up front and a
+	// bounded certificate pass confirms the cheapest selection over the
+	// full, untrimmed choice product (reported in Stats.Metrics under
+	// core.joint.*).
+	SolverJoint = core.SolverJoint
+)
+
+// WithSolverMode selects how the selection sweep drives the exact ATSP
+// solver: SolverEnumerate, SolverWarm or SolverJoint. Modes only change
+// solver effort — node counts, timings and mode-specific metrics — never
+// the generated test. An unknown mode is rejected with ErrUsage.
+func WithSolverMode(mode string) Option {
+	return func(o *core.Options) { o.SolverMode = mode }
+}
+
 // WithWorkers bounds the generation worker pool: per-fault simulation,
 // coverage-matrix rows and exact-ATSP subtree exploration fan out over at
 // most n goroutines. n == 0 (the default) uses GOMAXPROCS; a negative n is
@@ -135,6 +159,12 @@ type Stats struct {
 	TPGNodes int
 	// PathCost is the optimal ATSP visit cost of the winning selection.
 	PathCost int
+	// MinSelectionCost is the cheapest exact visit cost over every
+	// deduplicated selection the sweep solved (0 when none was solved
+	// exactly). The winner is picked by validated test quality, so
+	// PathCost can exceed this; the value is identical across solver
+	// modes and worker counts.
+	MinSelectionCost int
 	// Candidates is the number of rewrite candidates examined.
 	Candidates int
 	// Degraded reports that a soft budget (see WithBudget) ran out
@@ -240,17 +270,18 @@ func GenerateModelsCtx(ctx context.Context, models []fault.Model, opts ...Option
 		Models:     models,
 		Instances:  cres.Instances,
 		Stats: Stats{
-			Classes:        cres.Classes,
-			Selections:     cres.Selections,
-			TPGNodes:       cres.Nodes,
-			PathCost:       cres.PathCost,
-			Candidates:     cres.Candidates,
-			FromCache:      cres.FromCache,
-			Degraded:       cres.Degraded,
-			DegradedStages: cres.DegradedStages,
-			StageElapsed:   cres.StageElapsed,
-			Elapsed:        cres.Elapsed,
-			Metrics:        cres.Metrics,
+			Classes:          cres.Classes,
+			Selections:       cres.Selections,
+			TPGNodes:         cres.Nodes,
+			PathCost:         cres.PathCost,
+			MinSelectionCost: cres.MinSelectionCost,
+			Candidates:       cres.Candidates,
+			FromCache:        cres.FromCache,
+			Degraded:         cres.Degraded,
+			DegradedStages:   cres.DegradedStages,
+			StageElapsed:     cres.StageElapsed,
+			Elapsed:          cres.Elapsed,
+			Metrics:          cres.Metrics,
 		},
 	}, nil
 }

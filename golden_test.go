@@ -12,7 +12,7 @@ import (
 	"marchgen/internal/experiments"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite testdata/table3.golden from the current engine output")
+var updateGolden = flag.Bool("update", false, "rewrite the testdata golden files from the current engine output")
 
 // TestTable3Golden locks the exact march test and complexity generated for
 // each of the paper's Table 3 fault lists against a committed golden file,

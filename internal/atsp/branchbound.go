@@ -2,26 +2,119 @@ package atsp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"marchgen/internal/budget"
 	"marchgen/internal/obs"
 )
 
+// SolveOptions tunes the exact solvers beyond the plain entry points.
+type SolveOptions struct {
+	// Workers fans the branch-and-bound subtree exploration over N
+	// goroutines (<= 0: GOMAXPROCS, 1: sequential). The returned tour and
+	// cost are identical at any worker count.
+	Workers int
+	// WarmTour, when non-nil and a feasible tour of the instance, primes
+	// the incumbent upper bound with its cost. Warm starts change node
+	// counts only, never the returned tour or cost: the incumbent tour
+	// stays empty until the search itself reaches an optimal leaf, so the
+	// result is the same deterministic lex-min optimal tour as a cold
+	// solve.
+	WarmTour []int
+	// PreferBB routes even small instances to the assignment-bound branch
+	// and bound instead of the Held–Karp dynamic program. On TPG-sized
+	// matrices the AP bound is near-tight, so the search expands a handful
+	// of nodes where Held–Karp charges O(2ⁿ·n²) states.
+	PreferBB bool
+	// CostOnly lets the solver return any optimal tour, not necessarily
+	// the lex-min one: when the root assignment bound already equals the
+	// warm (or heuristic) incumbent cost, the incumbent tour is returned
+	// with zero branching. Callers that only consume the optimal cost —
+	// the optimal-path enumeration does — get the full warm-start saving.
+	CostOnly bool
+}
+
+// bbBoundHook, when non-nil, observes every branch-and-bound subproblem:
+// the constrained matrix and the assignment lower bound computed for it.
+// Tests install it to assert bound admissibility at every node; a hook used
+// under Workers > 1 is called concurrently and must synchronise itself.
+var bbBoundHook func(w Matrix, lb int)
+
+// bbNode is one open branch-and-bound subproblem: the constrained cost
+// matrix plus the parent's assignment state with the rows invalidated by
+// the branching constraints already unassigned, ready for incremental
+// re-augmentation (see apState).
+type bbNode struct {
+	w  Matrix
+	ap *apState
+}
+
+// bbBranch branches a subproblem on the shortest subtour of its optimal
+// assignment, the classic Carpaneto–Dell'Amico–Toth scheme: child k
+// forbids arc k of the subtour and forces arcs 0..k-1 by walling every
+// alternative leaving their tail or entering their head. Each child clones
+// the parent's assignment state and unassigns exactly the rows whose
+// matched arc a new wall destroyed, so bounding the child re-augments only
+// those rows instead of re-solving from scratch.
+func bbBranch(nd bbNode, rowToCol []int, cycle []int) []bbNode {
+	children := make([]bbNode, 0, len(cycle))
+	for k := 0; k < len(cycle); k++ {
+		child := bbNode{w: nd.w.Clone(), ap: nd.ap.clone()}
+		forbid := func(i, j int) {
+			if child.w[i][j] < Inf {
+				child.w[i][j] = Inf
+				if rowToCol[i] == j {
+					child.ap.unassignRow(i + 1)
+				}
+			}
+		}
+		from, to := cycle[k], cycle[(k+1)%len(cycle)]
+		forbid(from, to)
+		for f := 0; f < k; f++ {
+			ff, ft := cycle[f], cycle[(f+1)%len(cycle)]
+			for j := range child.w[ff] {
+				if j != ft {
+					forbid(ff, j)
+				}
+			}
+			for i := range child.w {
+				if i != ff {
+					forbid(i, ft)
+				}
+			}
+		}
+		children = append(children, child)
+	}
+	return children
+}
+
 // BranchBound solves the cyclic ATSP exactly by depth-first branch and
 // bound over the assignment-problem relaxation, in the style of Carpaneto,
-// Dell'Amico and Toth's exact code used by the paper: the Hungarian
-// algorithm provides the lower bound; when the optimal assignment contains
-// subtours, the search branches on the arcs of the shortest subtour,
-// excluding one arc per child (with the preceding arcs of the subtour
-// forced excluded-complement via inclusion, the classic CDT scheme).
+// Dell'Amico and Toth's exact code used by the paper: the incremental
+// Hungarian state provides the lower bound, and the search branches on the
+// arcs of the shortest subtour of each node's optimal assignment.
 func BranchBound(m Matrix) ([]int, int, error) {
-	return BranchBoundMeter(nil, m)
+	return BranchBoundOpt(nil, m, SolveOptions{Workers: 1})
 }
 
 // BranchBoundMeter is BranchBound under a budget meter: every search node
 // charges the meter, so the solve aborts with a typed error on context
 // cancellation or ATSP node-budget exhaustion (nil meter: unbounded).
 func BranchBoundMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
+	return BranchBoundOpt(mt, m, SolveOptions{Workers: 1})
+}
+
+// BranchBoundOpt is the full-control branch and bound; see SolveOptions.
+//
+// Determinism contract: subtrees are pruned only when their assignment
+// bound strictly exceeds the incumbent cost, so every node whose bound
+// does not exceed the optimum is explored at any worker count and under
+// any schedule. The set of optimal feasible tours the search reaches is
+// therefore schedule-independent, and the lexicographically smallest of
+// them (canonical rotation, lexLess order) is returned — identical for
+// sequential, parallel, warm and cold solves (CostOnly excepted).
+func BranchBoundOpt(mt *budget.Meter, m Matrix, opt SolveOptions) (_ []int, _ int, err error) {
 	if err := m.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -29,83 +122,105 @@ func BranchBoundMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if n == 1 {
 		return []int{0}, 0, nil
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	work := m.Clone()
 	for i := 0; i < n; i++ {
 		work[i][i] = Inf
 	}
-	// Local plain-int counters keep the search loop free of atomics; they
-	// flush to the run's metrics (and the span) once at the end.
 	run := obs.From(mt.Context())
-	expanded, pruned := 0, 0
 	sp := run.StartUnder("atsp/branchbound").SetInt("n", int64(n))
+	if workers > 1 {
+		sp.SetInt("workers", int64(workers))
+	}
+	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers)}
+	s.bound.Store(unset)
+	rootExpanded, rootPruned := 0, 0
 	defer func() {
-		sp.SetInt("expanded", int64(expanded)).SetInt("pruned", int64(pruned)).End()
-		run.Counter("atsp.bb.expanded").Add(int64(expanded))
-		run.Counter("atsp.bb.pruned").Add(int64(pruned))
+		// Aggregated totals: deterministic for one worker (the explored
+		// set and visit order are fixed), schedule-dependent beyond — so
+		// the span carries them only in the sequential case, while the
+		// metrics registry always does.
+		expanded := s.expanded.Load() + int64(rootExpanded)
+		pruned := s.pruned.Load() + int64(rootPruned)
+		run.Counter("atsp.bb.expanded").Add(expanded)
+		run.Counter("atsp.bb.pruned").Add(pruned)
+		run.Counter("atsp.bb.steals").Add(s.steals.Load())
+		if workers == 1 {
+			sp.SetInt("expanded", expanded).SetInt("pruned", pruned)
+		}
+		sp.End()
 	}()
-	// Heuristic upper bound primes the pruning.
-	best := []int(nil)
-	bestCost := Inf
-	if tour, cost := bestHeuristic(m); validTour(n, tour) && cost < bestCost {
-		best, bestCost = tour, cost
+	// Upper bounds prime the pruning only. Keeping the incumbent tour
+	// empty until the search reaches an optimal leaf itself makes the
+	// returned tour independent of the priming (see the contract above).
+	var incTour []int
+	incCost := Inf
+	if tour, cost := bestHeuristic(m); validTour(n, tour) && cost < Inf {
+		incTour, incCost = canonical(tour), cost
 	}
-
-	var searchErr error
-	var search func(w Matrix)
-	search = func(w Matrix) {
-		if searchErr != nil {
-			return
-		}
-		if err := mt.Node(); err != nil {
-			searchErr = err
-			return
-		}
-		expanded++
-		rowToCol, lb := assignment(w)
-		if lb >= bestCost || lb >= Inf {
-			pruned++
-			return
-		}
-		cycle := shortestSubtour(rowToCol)
-		if len(cycle) == len(rowToCol) {
-			// Single Hamiltonian cycle: a feasible tour. Cost must be
-			// measured on the original matrix (w only adds Inf walls).
-			if c := m.TourCost(cycle); c < bestCost {
-				best, bestCost = canonical(cycle), c
-			}
-			return
-		}
-		// Branch on the subtour's arcs: child k forbids arc k and forces
-		// arcs 0..k-1 (by forbidding every alternative leaving their tail
-		// or entering their head).
-		for k := 0; k < len(cycle); k++ {
-			child := w.Clone()
-			from, to := cycle[k], cycle[(k+1)%len(cycle)]
-			child[from][to] = Inf
-			for f := 0; f < k; f++ {
-				ff, ft := cycle[f], cycle[(f+1)%len(cycle)]
-				for j := range child[ff] {
-					if j != ft {
-						child[ff][j] = Inf
-					}
-				}
-				for i := range child {
-					if i != ff {
-						child[i][ft] = Inf
-					}
-				}
-			}
-			search(child)
+	if opt.WarmTour != nil && validTour(n, opt.WarmTour) {
+		run.Counter("atsp.bb.warm").Inc()
+		if wc := m.TourCost(opt.WarmTour); wc < Inf && wc <= incCost {
+			incTour, incCost = canonical(opt.WarmTour), wc
 		}
 	}
-	search(work)
-	if searchErr != nil {
-		return nil, 0, searchErr
+	if incCost < Inf {
+		s.bound.Store(int64(incCost))
 	}
-	if best == nil {
+	// Bound the root here: the warm shortcut and the root-Hamiltonian case
+	// then return without starting the worker engine at all.
+	if err := mt.Node(); err != nil {
+		return nil, 0, err
+	}
+	rootExpanded++
+	root := bbNode{w: work, ap: newAPState(n)}
+	rowToCol, lb := root.ap.solve(work)
+	if hook := bbBoundHook; hook != nil {
+		hook(work, lb)
+	}
+	if lb >= Inf {
+		rootPruned++
 		return nil, 0, fmt.Errorf("atsp: no feasible tour")
 	}
-	return best, bestCost, nil
+	if opt.CostOnly && incTour != nil && lb == incCost {
+		// The relaxation is tight against the incumbent: the incumbent is
+		// optimal and the caller does not need the canonical tour.
+		run.Counter("atsp.bb.warmshort").Inc()
+		return incTour, incCost, nil
+	}
+	cycle := shortestSubtour(rowToCol)
+	if len(cycle) == n {
+		// The root assignment is a single Hamiltonian cycle: it is the
+		// only tour the offered-set contract reaches, and it is optimal.
+		return canonical(cycle), m.TourCost(cycle), nil
+	}
+	for _, child := range bbBranch(root, rowToCol, cycle) {
+		s.outstanding.Add(1)
+		s.queues[0].push(child)
+	}
+	if workers == 1 {
+		s.worker(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(id int) {
+				defer wg.Done()
+				s.worker(id)
+			}(w)
+		}
+		wg.Wait()
+	}
+	if err := s.failure(); err != nil {
+		return nil, 0, err
+	}
+	if s.best == nil {
+		return nil, 0, fmt.Errorf("atsp: no feasible tour")
+	}
+	return s.best, int(s.bound.Load()), nil
 }
 
 // shortestSubtour extracts the shortest cycle of the assignment
@@ -139,8 +254,15 @@ func SolveExact(m Matrix) ([]int, int, error) {
 
 // SolveExactMeter is SolveExact under a budget meter.
 func SolveExactMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
-	if len(m) <= 13 {
+	return SolveExactOpt(mt, m, SolveOptions{Workers: 1})
+}
+
+// SolveExactOpt is SolveExact under SolveOptions: PreferBB overrides the
+// small-instance Held–Karp dispatch (warm starts only help the branch and
+// bound — the dynamic program's state count is fixed by n).
+func SolveExactOpt(mt *budget.Meter, m Matrix, opt SolveOptions) ([]int, int, error) {
+	if !opt.PreferBB && len(m) <= 13 {
 		return HeldKarpMeter(mt, m)
 	}
-	return BranchBoundMeter(mt, m)
+	return BranchBoundOpt(mt, m, opt)
 }

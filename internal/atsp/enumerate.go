@@ -32,10 +32,22 @@ func OptimalPathsMeter(mt *budget.Meter, m Matrix, startCost []int, limit int) (
 // count. The optimal cost is schedule-independent, so the enumerated set
 // is too.
 func OptimalPathsWorkers(mt *budget.Meter, m Matrix, startCost []int, limit, workers int) ([][]int, int, error) {
+	return OptimalPathsOpt(mt, m, startCost, limit, PathOptions{Workers: workers})
+}
+
+// OptimalPathsOpt is OptimalPathsWorkers under PathOptions: the exact
+// solve establishing the optimal cost can be warm-started and routed to
+// the branch and bound, while the enumeration itself is untouched — its
+// emission order feeds the rewrite engine, so the returned paths are
+// byte-identical whatever the options. CostOnly is forced: only the
+// optimal cost survives into the enumeration, so the establishing solve
+// never needs the canonical tour.
+func OptimalPathsOpt(mt *budget.Meter, m Matrix, startCost []int, limit int, opt PathOptions) ([][]int, int, error) {
 	if limit <= 0 {
 		limit = 16
 	}
-	_, best, err := PathWorkers(mt, m, startCost, true, workers)
+	opt.CostOnly = true
+	_, best, err := PathOpt(mt, m, startCost, true, opt)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,74 +1,140 @@
 package atsp
 
+// apInf is the internal sentinel of the shortest-augmenting-path search,
+// far above any real reduced cost (Inf-walled arcs included).
+const apInf = int(1) << 60
+
+// apState is a warm-startable assignment-problem solver: the row/column
+// potentials and the partial matching of a Jonker–Volgenant style
+// shortest-augmenting-path Hungarian algorithm. A branch-and-bound node
+// clones its parent's state, unassigns only the rows whose matched arc the
+// branching constraint destroyed, and re-augments those rows against the
+// child matrix — O(dirty·n²) instead of a fresh O(n³) solve. Correctness
+// rests on two invariants that survive both operations: branching only
+// *increases* arc costs (to Inf), which preserves dual feasibility of the
+// potentials, and unassigning a row keeps every remaining matched arc
+// tight.
+//
+// All arrays are 1-based like the classic formulation; index 0 is the
+// virtual source column of the augmenting search.
+type apState struct {
+	n   int
+	u   []int // row potentials
+	v   []int // column potentials
+	p   []int // p[col] = row matched to col (0 = none)
+	row []int // row[r] = col matched to row r (0 = none)
+}
+
+// newAPState returns an empty state for an n×n instance.
+func newAPState(n int) *apState {
+	return &apState{
+		n:   n,
+		u:   make([]int, n+1),
+		v:   make([]int, n+1),
+		p:   make([]int, n+1),
+		row: make([]int, n+1),
+	}
+}
+
+// clone deep-copies the state so a child subproblem can diverge.
+func (s *apState) clone() *apState {
+	return &apState{
+		n:   s.n,
+		u:   append([]int(nil), s.u...),
+		v:   append([]int(nil), s.v...),
+		p:   append([]int(nil), s.p...),
+		row: append([]int(nil), s.row...),
+	}
+}
+
+// unassignRow removes row r (1-based) from the matching; a no-op when the
+// row is unmatched. Potentials are kept: they stay dual-feasible, and the
+// next solve re-augments the row from them.
+func (s *apState) unassignRow(r int) {
+	if c := s.row[r]; c != 0 {
+		s.p[c] = 0
+		s.row[r] = 0
+	}
+}
+
+// augment matches one unmatched row i (1-based) by the shortest augmenting
+// path under the current potentials.
+func (s *apState) augment(m Matrix, i int) {
+	n := s.n
+	way := make([]int, n+1)
+	minv := make([]int, n+1)
+	used := make([]bool, n+1)
+	for j := 0; j <= n; j++ {
+		minv[j] = apInf
+	}
+	s.p[0] = i
+	j0 := 0
+	for {
+		used[j0] = true
+		i0 := s.p[j0]
+		delta := apInf
+		j1 := 0
+		for j := 1; j <= n; j++ {
+			if used[j] {
+				continue
+			}
+			cur := m[i0-1][j-1] - s.u[i0] - s.v[j]
+			if cur < minv[j] {
+				minv[j] = cur
+				way[j] = j0
+			}
+			if minv[j] < delta {
+				delta = minv[j]
+				j1 = j
+			}
+		}
+		for j := 0; j <= n; j++ {
+			if used[j] {
+				s.u[s.p[j]] += delta
+				s.v[j] -= delta
+			} else {
+				minv[j] -= delta
+			}
+		}
+		j0 = j1
+		if s.p[j0] == 0 {
+			break
+		}
+	}
+	for j0 != 0 {
+		j1 := way[j0]
+		s.p[j0] = s.p[j1]
+		s.row[s.p[j0]] = j0
+		j0 = j1
+	}
+	s.p[0] = 0
+}
+
+// solve completes the matching (augmenting every currently unmatched row in
+// index order, which makes warm re-solves deterministic) and returns the
+// optimal assignment and its cost on m. On a fresh state this is exactly
+// the classic full Hungarian solve.
+func (s *apState) solve(m Matrix) (rowToCol []int, cost int) {
+	for i := 1; i <= s.n; i++ {
+		if s.row[i] == 0 {
+			s.augment(m, i)
+		}
+	}
+	rowToCol = make([]int, s.n)
+	for i := 1; i <= s.n; i++ {
+		rowToCol[i-1] = s.row[i] - 1
+		cost += m[i-1][rowToCol[i-1]]
+	}
+	return rowToCol, cost
+}
+
 // assignment solves the linear assignment problem on the cost matrix
 // (ignoring nothing — diagonal entries must already be set to Inf by the
 // caller when self-assignment is forbidden). It returns the column chosen
-// for each row and the optimal total cost. The implementation is the
-// O(n³) shortest-augmenting-path ("Jonker–Volgenant style") variant of the
-// Hungarian algorithm with row/column potentials.
+// for each row and the optimal total cost. It is a fresh full solve of the
+// incremental apState machinery and produces the same matching (including
+// tie-breaks) as the pre-incremental implementation: rows are inserted in
+// index order with zero initial potentials.
 func assignment(m Matrix) (rowToCol []int, cost int) {
-	n := len(m)
-	const inf = int(1) << 60
-	u := make([]int, n+1) // row potentials
-	v := make([]int, n+1) // column potentials
-	p := make([]int, n+1) // p[col] = row assigned to col (1-based; 0 = none)
-	way := make([]int, n+1)
-
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		minv := make([]int, n+1)
-		used := make([]bool, n+1)
-		for j := 0; j <= n; j++ {
-			minv[j] = inf
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := 0
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := m[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-
-	rowToCol = make([]int, n)
-	for j := 1; j <= n; j++ {
-		if p[j] > 0 {
-			rowToCol[p[j]-1] = j - 1
-		}
-	}
-	for i := 0; i < n; i++ {
-		cost += m[i][rowToCol[i]]
-	}
-	return rowToCol, cost
+	return newAPState(len(m)).solve(m)
 }

@@ -1,13 +1,11 @@
 package atsp
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"marchgen/internal/budget"
-	"marchgen/internal/obs"
 )
 
 // unset is the incumbent sentinel before any feasible tour is known. It is
@@ -23,66 +21,17 @@ const unset = int64(Inf) * 4
 // atomic, so an improvement found by any worker immediately prunes every
 // other worker's subtree; the incumbent tour itself is updated under a
 // mutex with a deterministic tie-break (lexicographically smallest
-// canonical tour among equal-cost optima), so the optimal *cost* — the
-// only thing the generation pipeline consumes — is schedule-independent
-// and exact at any worker count.
+// canonical tour among equal-cost optima). Because subtrees are pruned
+// only on a *strictly* worse bound, the set of optimal tours the search
+// reaches is schedule-independent and the returned tour — not just its
+// cost — is identical at any worker count.
 //
 // Budget semantics match the sequential solver: every expanded subproblem
 // charges mt.Node(), so hard cancellation and ATSP node-budget exhaustion
 // abort the whole solve with the same typed errors. workers <= 1 runs the
-// sequential solver unchanged.
+// same engine on the calling goroutine.
 func BranchBoundWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
-		return BranchBoundMeter(mt, m)
-	}
-	if err := m.Validate(); err != nil {
-		return nil, 0, err
-	}
-	n := len(m)
-	if n == 1 {
-		return []int{0}, 0, nil
-	}
-	work := m.Clone()
-	for i := 0; i < n; i++ {
-		work[i][i] = Inf
-	}
-	run := obs.From(mt.Context())
-	sp := run.StartUnder("atsp/branchbound").
-		SetInt("n", int64(n)).
-		SetInt("workers", int64(workers))
-	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers)}
-	s.bound.Store(unset)
-	if tour, cost := bestHeuristic(m); validTour(n, tour) && cost < Inf {
-		s.best = canonical(tour)
-		s.bound.Store(int64(cost))
-	}
-	s.outstanding.Add(1)
-	s.queues[0].push(work)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(id int) {
-			defer wg.Done()
-			s.worker(id)
-		}(w)
-	}
-	wg.Wait()
-	// Aggregated work-stealing totals are schedule-dependent, so they go
-	// to the metrics registry only — span attributes stay deterministic.
-	run.Counter("atsp.bb.expanded").Add(s.expanded.Load())
-	run.Counter("atsp.bb.pruned").Add(s.pruned.Load())
-	run.Counter("atsp.bb.steals").Add(s.steals.Load())
-	sp.End()
-	if err := s.failure(); err != nil {
-		return nil, 0, err
-	}
-	if s.best == nil {
-		return nil, 0, fmt.Errorf("atsp: no feasible tour")
-	}
-	return s.best, int(s.bound.Load()), nil
+	return BranchBoundOpt(mt, m, SolveOptions{Workers: workers})
 }
 
 // bbShared is the state the branch-and-bound workers share.
@@ -117,35 +66,35 @@ type bbShared struct {
 // pops at the tail, thieves steal at the head.
 type bbQueue struct {
 	mu    sync.Mutex
-	nodes []Matrix
+	nodes []bbNode
 }
 
-func (q *bbQueue) push(w Matrix) {
+func (q *bbQueue) push(nd bbNode) {
 	q.mu.Lock()
-	q.nodes = append(q.nodes, w)
+	q.nodes = append(q.nodes, nd)
 	q.mu.Unlock()
 }
 
-func (q *bbQueue) pop() (Matrix, bool) {
+func (q *bbQueue) pop() (bbNode, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.nodes) == 0 {
-		return nil, false
+		return bbNode{}, false
 	}
-	w := q.nodes[len(q.nodes)-1]
+	nd := q.nodes[len(q.nodes)-1]
 	q.nodes = q.nodes[:len(q.nodes)-1]
-	return w, true
+	return nd, true
 }
 
-func (q *bbQueue) steal() (Matrix, bool) {
+func (q *bbQueue) steal() (bbNode, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.nodes) == 0 {
-		return nil, false
+		return bbNode{}, false
 	}
-	w := q.nodes[0]
+	nd := q.nodes[0]
 	q.nodes = q.nodes[1:]
-	return w, true
+	return nd, true
 }
 
 func (s *bbShared) fail(err error) {
@@ -195,10 +144,10 @@ func (s *bbShared) worker(id int) {
 		if s.stop.Load() {
 			return
 		}
-		w, ok := s.queues[id].pop()
+		nd, ok := s.queues[id].pop()
 		if !ok {
 			for k := 1; k < len(s.queues) && !ok; k++ {
-				w, ok = s.queues[(id+k)%len(s.queues)].steal()
+				nd, ok = s.queues[(id+k)%len(s.queues)].steal()
 			}
 			if ok {
 				steals++
@@ -211,22 +160,30 @@ func (s *bbShared) worker(id int) {
 			runtime.Gosched()
 			continue
 		}
-		s.expand(id, w, &expanded, &pruned)
+		s.expand(id, nd, &expanded, &pruned)
 		s.outstanding.Add(-1)
 	}
 }
 
-// expand processes one subproblem: bound it by the assignment relaxation,
-// record it when it is a feasible tour, otherwise branch on the shortest
-// subtour exactly as the sequential solver does (CDT scheme).
-func (s *bbShared) expand(id int, w Matrix, expanded, pruned *int64) {
+// expand processes one subproblem: bound it by re-augmenting the inherited
+// assignment state (only the rows the branching constraints dirtied),
+// record it when the assignment is a feasible tour, otherwise branch on
+// the shortest subtour exactly as the CDT scheme prescribes. Pruning is
+// strict (bound must *exceed* the incumbent cost): a subproblem whose
+// bound ties the incumbent may still hold an equal-cost tour that wins the
+// lexicographic tie-break, and exploring all of them is what makes the
+// returned tour schedule-independent.
+func (s *bbShared) expand(id int, nd bbNode, expanded, pruned *int64) {
 	if err := s.mt.Node(); err != nil {
 		s.fail(err)
 		return
 	}
 	*expanded++
-	rowToCol, lb := assignment(w)
-	if int64(lb) >= s.bound.Load() || lb >= Inf {
+	rowToCol, lb := nd.ap.solve(nd.w)
+	if hook := bbBoundHook; hook != nil {
+		hook(nd.w, lb)
+	}
+	if int64(lb) > s.bound.Load() || lb >= Inf {
 		*pruned++
 		return
 	}
@@ -235,23 +192,7 @@ func (s *bbShared) expand(id int, w Matrix, expanded, pruned *int64) {
 		s.offer(cycle)
 		return
 	}
-	for k := 0; k < len(cycle); k++ {
-		child := w.Clone()
-		from, to := cycle[k], cycle[(k+1)%len(cycle)]
-		child[from][to] = Inf
-		for f := 0; f < k; f++ {
-			ff, ft := cycle[f], cycle[(f+1)%len(cycle)]
-			for j := range child[ff] {
-				if j != ft {
-					child[ff][j] = Inf
-				}
-			}
-			for i := range child {
-				if i != ff {
-					child[i][ft] = Inf
-				}
-			}
-		}
+	for _, child := range bbBranch(nd, rowToCol, cycle) {
 		s.outstanding.Add(1)
 		s.queues[id].push(child)
 	}
@@ -274,8 +215,5 @@ func lexLess(a, b []int) bool {
 // branch-and-bound regime (Held–Karp is a sequential dynamic program and
 // already fast for every instance it handles).
 func SolveExactWorkers(mt *budget.Meter, m Matrix, workers int) ([]int, int, error) {
-	if len(m) <= 13 {
-		return HeldKarpMeter(mt, m)
-	}
-	return BranchBoundWorkers(mt, m, workers)
+	return SolveExactOpt(mt, m, SolveOptions{Workers: workers})
 }

@@ -35,6 +35,28 @@ func PathMeter(mt *budget.Meter, m Matrix, startCost []int, exact bool) ([]int, 
 // (see BranchBoundWorkers). The optimal cost is identical at any worker
 // count; workers <= 1 is the sequential solver unchanged.
 func PathWorkers(mt *budget.Meter, m Matrix, startCost []int, exact bool, workers int) ([]int, int, error) {
+	return PathOpt(mt, m, startCost, exact, PathOptions{Workers: workers})
+}
+
+// PathOptions tunes PathOpt beyond the plain entry points; the zero value
+// reproduces PathMeter exactly.
+type PathOptions struct {
+	// Workers is the exact solver's worker count (see SolveOptions).
+	Workers int
+	// WarmPath, when a valid open path over the instance's nodes, primes
+	// the exact solve's incumbent bound (see SolveOptions.WarmTour; the
+	// path is lifted to a tour of the dummy-extended matrix). Build one
+	// from a related solve with CompletePath.
+	WarmPath []int
+	// PreferBB and CostOnly are forwarded to SolveOptions.
+	PreferBB bool
+	CostOnly bool
+}
+
+// PathOpt is PathWorkers under PathOptions: the same dummy-node reduction,
+// with the exact solve optionally warm-started, forced onto the branch and
+// bound, or relaxed to cost-only tie-breaking.
+func PathOpt(mt *budget.Meter, m Matrix, startCost []int, exact bool, opt PathOptions) ([]int, int, error) {
 	if err := m.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -68,7 +90,18 @@ func PathWorkers(mt *budget.Meter, m Matrix, startCost []int, exact bool, worker
 	var cost int
 	var err error
 	if exact {
-		tour, cost, err = SolveExactWorkers(mt, ext, workers)
+		so := SolveOptions{
+			Workers:  opt.Workers,
+			PreferBB: opt.PreferBB,
+			CostOnly: opt.CostOnly,
+		}
+		if validTour(n, opt.WarmPath) {
+			// An open path lifts to a tour of the extended instance by
+			// leading with the dummy: dummy -> path[0] costs the start,
+			// path[last] -> dummy is free.
+			so.WarmTour = append([]int{n}, opt.WarmPath...)
+		}
+		tour, cost, err = SolveExactOpt(mt, ext, so)
 		if err != nil {
 			return nil, 0, err
 		}

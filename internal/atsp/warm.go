@@ -1,0 +1,64 @@
+package atsp
+
+// CompletePath extends a partial open path into a full one by cheapest
+// insertion, the warm-start analogue of Patch for the path shape: the §5
+// selection sweep keeps the previous selection's optimal visiting order,
+// maps the patterns both selections share onto the new instance, and calls
+// CompletePath to splice in the handful of nodes the new selection added.
+// The result is a feasible (rarely optimal) path whose cost primes the
+// next solve's incumbent bound via PathOptions.WarmPath.
+//
+// partial must list distinct node indices of m in visiting order; indices
+// out of range are ignored, duplicates keep their first occurrence. The
+// remaining nodes are inserted in index order, each at the position of
+// minimal cost increase (startCost charged when displacing the head,
+// ending free), which keeps the construction deterministic. The returned
+// path visits every node exactly once; cost it with Matrix.PathCost plus
+// the start charge.
+func CompletePath(m Matrix, startCost []int, partial []int) []int {
+	n := len(m)
+	if n == 0 {
+		return nil
+	}
+	used := make([]bool, n)
+	path := make([]int, 0, n)
+	for _, v := range partial {
+		if v < 0 || v >= n || used[v] {
+			continue
+		}
+		used[v] = true
+		path = append(path, v)
+	}
+	start := func(v int) int {
+		if startCost == nil {
+			return 0
+		}
+		return startCost[v]
+	}
+	for v := 0; v < n; v++ {
+		if used[v] {
+			continue
+		}
+		if len(path) == 0 {
+			path = append(path, v)
+			continue
+		}
+		// Position 0: v becomes the new head.
+		bestAt := 0
+		bestDelta := start(v) + m[v][path[0]] - start(path[0])
+		for at := 1; at < len(path); at++ {
+			d := m[path[at-1]][v] + m[v][path[at]] - m[path[at-1]][path[at]]
+			if d < bestDelta {
+				bestAt, bestDelta = at, d
+			}
+		}
+		// Appending at the tail: the path's end is free.
+		if d := m[path[len(path)-1]][v]; d < bestDelta {
+			bestAt = len(path)
+		}
+		path = append(path, 0)
+		copy(path[bestAt+1:], path[bestAt:])
+		path[bestAt] = v
+	}
+	return path
+}

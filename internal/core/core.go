@@ -54,6 +54,13 @@ type Options struct {
 	// DisableEquivalence forces one TPG node per BFE instead of one per
 	// equivalence class (the Section 5 ablation).
 	DisableEquivalence bool
+	// SolverMode selects how the selection sweep drives the exact solver:
+	// SolverEnumerate (the default, also chosen by ""), SolverWarm or
+	// SolverJoint — see the constants in joint.go. The generated test and
+	// every Result field are byte-identical in all modes; only solver
+	// effort (node counts, timings, mode-specific metrics) differs. An
+	// unknown mode is rejected with budget.ErrUsage.
+	SolverMode string
 	// DisableFallback turns off the bounded branch-and-bound fallback
 	// used when an exotic user-defined fault falls outside the rewrite
 	// grammar (the pipeline then fails instead of searching).
@@ -108,6 +115,12 @@ type Result struct {
 	Nodes int
 	// PathCost is the winning ATSP visit cost (March-operation proxy).
 	PathCost int
+	// MinSelectionCost is the cheapest exact ATSP visit cost over every
+	// deduplicated selection the sweep solved exactly (0 when none was).
+	// The winning selection is chosen by validated test quality, not by
+	// this figure, so it can exceed MinSelectionCost; the value is
+	// identical across solver modes and worker counts.
+	MinSelectionCost int
 	// Candidates counts the rewrite candidates validated.
 	Candidates int
 	// UsedFallback reports that the rewrite pipeline produced no valid
@@ -127,8 +140,9 @@ type Result struct {
 	// are byte-identical to the run that produced them.
 	FromCache bool
 	// StageElapsed is the wall-clock time per pipeline stage ("expand",
-	// "select", "atsp", "assemble", "validate", "shrink", "fallback",
-	// "finalize"). The windows are measured at stage boundaries and
+	// "select", "atsp", "assemble", "validate", "shrink", "certify",
+	// "fallback", "finalize"). The windows are measured at stage
+	// boundaries and
 	// partition the run's wall time: they never overlap, and a degraded
 	// or cancelled stage still reports the window it actually occupied.
 	StageElapsed map[string]time.Duration
@@ -164,6 +178,15 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	}
 	if err := opts.Budget.Validate(); err != nil {
 		return nil, err
+	}
+	mode := opts.SolverMode
+	if mode == "" {
+		mode = SolverEnumerate
+	}
+	switch mode {
+	case SolverEnumerate, SolverWarm, SolverJoint:
+	default:
+		return nil, fmt.Errorf("core: unknown solver mode %q: %w", opts.SolverMode, budget.ErrUsage)
 	}
 	workers, err := budget.ParseWorkers(opts.Workers)
 	if err != nil {
@@ -266,9 +289,11 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	if err := m.CheckNow(); err != nil {
 		return nil, err
 	}
+	truncated := false
 	if lim := opts.Budget.Selections; lim > 0 && lim < len(selections) {
 		selections = selections[:lim]
 		degrade("select")
+		truncated = true
 	}
 
 	res.Instances = instances
@@ -288,8 +313,27 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	var lastErr error
 	bestNodes, bestCost := 0, 0
 	seenNodeSets := map[string]bool{}
+	// The joint mode prunes duplicate selection subtrees up front; the
+	// mask only exists when the list is the complete lexicographic product
+	// (a budget truncation breaks the contiguity argument — see jointSkips).
+	var jointSkip []bool
+	if mode == SolverJoint && !truncated {
+		var prunedSubtrees, skippedLeaves int
+		jointSkip, prunedSubtrees, skippedLeaves = jointSkips(classes, selections)
+		run.Counter("core.joint.subtrees_pruned").Add(int64(prunedSubtrees))
+		run.Counter("core.joint.leaves_skipped").Add(int64(skippedLeaves))
+	}
+	// Warm-start threading (warm and joint modes): the previous
+	// selection's first optimal ordering seeds the next solve's incumbent.
+	preferBB := mode != SolverEnumerate
+	var prevOrder []fsm.Pattern
+	// selCost collects each deduplicated node set's exact visit cost for
+	// MinSelectionCost and the joint certificate; minSel is its minimum
+	// (-1: nothing solved exactly yet).
+	selCost := map[string]int{}
+	minSel := -1
 search:
-	for _, sel := range selections {
+	for idx, sel := range selections {
 		stages.Enter("select")
 		if err := m.CheckNow(); err != nil {
 			return nil, err
@@ -298,23 +342,37 @@ search:
 			degrade("select")
 			break
 		}
-		nodes := tpg.Reduce(classes, sel)
-		nodeSig := ""
-		for _, n := range nodes {
-			nodeSig += n.Pattern.String() + ";"
+		if jointSkip != nil && jointSkip[idx] {
+			continue // whole subtree duplicates an earlier one
 		}
+		nodes := tpg.Reduce(classes, sel)
+		nodeSig := nodeSignature(nodes)
 		if seenNodeSets[nodeSig] {
 			continue // different selections can reduce to the same TPG
 		}
 		seenNodeSets[nodeSig] = true
 		stages.Enter("atsp")
-		patterns, cost, err := orderPatterns(m, nodes, opts.Exact, workers, cache, degrade)
+		patterns, cost, exactCost, err := orderPatterns(m, nodes, orderConfig{
+			exact:    opts.Exact,
+			workers:  workers,
+			preferBB: preferBB,
+			warm:     prevOrder,
+		}, cache, degrade)
 		if err != nil {
 			if budget.IsHard(err) {
 				return nil, err
 			}
 			lastErr = err
 			continue
+		}
+		if preferBB {
+			prevOrder = patterns[0]
+		}
+		if exactCost {
+			selCost[nodeSig] = cost
+			if minSel < 0 || cost < minSel {
+				minSel = cost
+			}
 		}
 		seenOrder := map[string]bool{}
 		for _, ordered := range patterns {
@@ -366,6 +424,19 @@ search:
 	if gen.softStopped {
 		degrade("shrink")
 	}
+	if minSel >= 0 {
+		res.MinSelectionCost = minSel
+	}
+	if mode == SolverJoint && opts.Exact && opts.Budget.Unlimited() {
+		// The optimality certificate explores the *full* choice product
+		// (metrics only — the Result is already fixed by the sweep above).
+		// Budgeted runs skip it: a budget is a statement about this run's
+		// resources, and the certificate is strictly extra work.
+		stages.Enter("certify")
+		if err := runCertificate(m, classes, selCost, minSel, workers, cache, run); err != nil {
+			return nil, err
+		}
+	}
 	if best == nil && !opts.DisableFallback {
 		stages.Enter("fallback")
 		fb, err := fallbackSearch(m, instances, opts, degrade)
@@ -409,6 +480,7 @@ search:
 			selections:   res.Selections,
 			nodes:        res.Nodes,
 			pathCost:     res.PathCost,
+			minSelCost:   res.MinSelectionCost,
 			candidates:   res.Candidates,
 			usedFallback: res.UsedFallback,
 			coverage:     cov.Clone(),
@@ -445,6 +517,7 @@ type cachedResult struct {
 	selections   int
 	nodes        int
 	pathCost     int
+	minSelCost   int
 	candidates   int
 	usedFallback bool
 	coverage     sim.Coverage
@@ -452,19 +525,20 @@ type cachedResult struct {
 
 func (c *cachedResult) result(start time.Time, instances []fault.Instance) *Result {
 	return &Result{
-		Test:         c.test.Clone(),
-		Complexity:   c.complexity,
-		Instances:    instances,
-		Classes:      c.classes,
-		Selections:   c.selections,
-		Nodes:        c.nodes,
-		PathCost:     c.pathCost,
-		Candidates:   c.candidates,
-		UsedFallback: c.usedFallback,
-		FromCache:    true,
-		StageElapsed: map[string]time.Duration{},
-		Elapsed:      time.Since(start),
-		Coverage:     c.coverage.Clone(),
+		Test:             c.test.Clone(),
+		Complexity:       c.complexity,
+		Instances:        instances,
+		Classes:          c.classes,
+		Selections:       c.selections,
+		Nodes:            c.nodes,
+		PathCost:         c.pathCost,
+		MinSelectionCost: c.minSelCost,
+		Candidates:       c.candidates,
+		UsedFallback:     c.usedFallback,
+		FromCache:        true,
+		StageElapsed:     map[string]time.Duration{},
+		Elapsed:          time.Since(start),
+		Coverage:         c.coverage.Clone(),
 	}
 }
 
@@ -535,6 +609,76 @@ type tourFragment struct {
 	cost  int
 }
 
+// tpgCostFragment is a memoised cost-only exact solve: the optimal path
+// cost of a TPG weight matrix plus one witnessing path. It is the
+// bound-state fragment the warm-started solvers feed on — the path primes
+// the next solve's incumbent so the assignment-tight root shortcut can
+// return without branching. Treated as immutable once cached.
+type tpgCostFragment struct {
+	cost int
+	path []int
+}
+
+// nodeSignature fingerprints a reduced TPG node set: selections reducing
+// to the same patterns are interchangeable for everything downstream.
+func nodeSignature(nodes []tpg.Node) string {
+	var sb strings.Builder
+	for _, n := range nodes {
+		sb.WriteString(n.Pattern.String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// tpgCostKey fingerprints a TPG instance for the tpgcost memo namespace.
+func tpgCostKey(g *tpg.Graph, starts []int) string {
+	f := memo.NewFingerprinter("tpgcost")
+	for _, row := range g.Weight {
+		f.Ints(row)
+	}
+	f.Ints(starts)
+	return f.Key()
+}
+
+// warmFromPrev lifts the previous selection's ordering onto the current
+// instance: patterns both selections share keep their relative order, the
+// rest is spliced in by cheapest insertion (adjacent selections differ by
+// one class choice, so the patched path is usually optimal or nearly so).
+// Returns nil when nothing carries over.
+func warmFromPrev(g *tpg.Graph, nodes []tpg.Node, starts []int, prev []fsm.Pattern) []int {
+	if len(prev) == 0 {
+		return nil
+	}
+	idx := make(map[string]int, len(nodes))
+	for i, nd := range nodes {
+		idx[nd.Pattern.String()] = i
+	}
+	partial := make([]int, 0, len(prev))
+	for _, p := range prev {
+		if i, ok := idx[p.String()]; ok {
+			partial = append(partial, i)
+		}
+	}
+	if len(partial) == 0 {
+		return nil
+	}
+	return atsp.CompletePath(atsp.Matrix(g.Weight), starts, partial)
+}
+
+// orderConfig tunes one orderPatterns call.
+type orderConfig struct {
+	// exact requests the exact solve (false: layered heuristics).
+	exact bool
+	// workers is the exact solver's fan-out.
+	workers int
+	// preferBB routes exact cost solves to the warm-startable assignment
+	// branch and bound instead of Held–Karp (the warm and joint modes).
+	preferBB bool
+	// warm is the previous selection's pattern ordering, threaded through
+	// the sweep as the next solve's incumbent seed (preferBB only).
+	warm []fsm.Pattern
+}
+
 // orderPatterns solves the constrained open-path ATSP over the TPG and
 // returns the pattern orderings worth assembling: every optimal visit (the
 // rewrite engine folds different optimal orders into March tests of
@@ -542,12 +686,16 @@ type tourFragment struct {
 // near-optimal path and its reverse are returned. When the exact solvers
 // exhaust the meter's node budget the ordering degrades to the heuristic
 // path automatically and degrade("atsp") records the downgrade. The exact
-// solve fans its branch-and-bound subtrees over `workers` goroutines and,
-// with a non-nil cache, is memoised under the weight-matrix fingerprint.
-func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, cache *memo.Cache, degrade func(string)) ([][]fsm.Pattern, int, error) {
+// solve fans its branch-and-bound subtrees over cfg.workers goroutines
+// and, with a non-nil cache, is memoised under the weight-matrix
+// fingerprint. The third result reports whether the returned cost is an
+// exact optimum (false after a heuristic downgrade). Whatever the config,
+// the returned orderings and cost are byte-identical — only solver effort
+// varies.
+func orderPatterns(m *budget.Meter, nodes []tpg.Node, cfg orderConfig, cache *memo.Cache, degrade func(string)) ([][]fsm.Pattern, int, bool, error) {
 	g := tpg.New(nodes)
 	if len(nodes) == 1 {
-		return [][]fsm.Pattern{{nodes[0].Pattern}}, g.StartCost(0) + g.NodeCost(0), nil
+		return [][]fsm.Pattern{{nodes[0].Pattern}}, g.StartCost(0) + g.NodeCost(0), true, nil
 	}
 	starts := make([]int, len(nodes))
 	total := 0
@@ -557,6 +705,7 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, c
 	}
 	var paths [][]int
 	var cost int
+	exact, exactCost := cfg.exact, false
 	if exact {
 		var key string
 		if cache != nil {
@@ -569,29 +718,48 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, c
 			if v, ok := cache.Get(key); ok {
 				obs.From(m.Context()).Counter("memo.tour_hits").Inc()
 				frag := v.(*tourFragment)
-				paths, cost = frag.paths, frag.cost
+				paths, cost, exactCost = frag.paths, frag.cost, true
 			}
 		}
 		if paths == nil {
+			var warmPath []int
+			if cfg.preferBB {
+				warmPath = warmFromPrev(g, nodes, starts, cfg.warm)
+				if warmPath == nil && cache != nil {
+					// No sweep neighbour to patch from: a cost fragment left
+					// by an earlier run (or the joint certificate) still
+					// provides a warm incumbent.
+					if v, ok := cache.Get(tpgCostKey(g, starts)); ok {
+						obs.From(m.Context()).Counter("memo.tpgcost_hits").Inc()
+						warmPath = v.(*tpgCostFragment).path
+					}
+				}
+			}
 			var err error
-			paths, cost, err = atsp.OptimalPathsWorkers(m, atsp.Matrix(g.Weight), starts, 8, workers)
+			paths, cost, err = atsp.OptimalPathsOpt(m, atsp.Matrix(g.Weight), starts, 8, atsp.PathOptions{
+				Workers:  cfg.workers,
+				PreferBB: cfg.preferBB,
+				WarmPath: warmPath,
+			})
 			switch {
 			case err == nil:
+				exactCost = true
 				if cache != nil {
 					cache.Put(key, &tourFragment{paths: paths, cost: cost})
+					cache.Put(tpgCostKey(g, starts), &tpgCostFragment{cost: cost, path: paths[0]})
 				}
 			case errors.Is(err, budget.ErrBudgetExhausted):
 				degrade("atsp")
 				exact = false
 			default:
-				return nil, 0, err
+				return nil, 0, false, err
 			}
 		}
 	}
 	if !exact {
-		path, c, err := atsp.PathWorkers(m, atsp.Matrix(g.Weight), starts, false, workers)
+		path, c, err := atsp.PathWorkers(m, atsp.Matrix(g.Weight), starts, false, cfg.workers)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		paths, cost = [][]int{path}, c
 	}
@@ -605,7 +773,43 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, exact bool, workers int, c
 		}
 		orders = append(orders, forward, backward)
 	}
-	return orders, cost + total, nil
+	return orders, cost + total, exactCost, nil
+}
+
+// selectionCost is the joint certificate's leaf solve: the exact visit
+// cost of one reduced node set, computed cost-only (the warm shortcut may
+// return any optimal tour) and memoised under the tpgcost namespace.
+func selectionCost(m *budget.Meter, nodes []tpg.Node, workers int, cache *memo.Cache) (int, error) {
+	g := tpg.New(nodes)
+	if len(nodes) == 1 {
+		return g.StartCost(0) + g.NodeCost(0), nil
+	}
+	starts := make([]int, len(nodes))
+	total := 0
+	for b := range nodes {
+		starts[b] = g.StartCost(b)
+		total += g.NodeCost(b)
+	}
+	var key string
+	if cache != nil {
+		key = tpgCostKey(g, starts)
+		if v, ok := cache.Get(key); ok {
+			obs.From(m.Context()).Counter("memo.tpgcost_hits").Inc()
+			return v.(*tpgCostFragment).cost + total, nil
+		}
+	}
+	path, cost, err := atsp.PathOpt(m, atsp.Matrix(g.Weight), starts, true, atsp.PathOptions{
+		Workers:  workers,
+		PreferBB: true,
+		CostOnly: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if cache != nil {
+		cache.Put(key, &tpgCostFragment{cost: cost, path: path})
+	}
+	return cost + total, nil
 }
 
 // genContext memoises completeness verdicts by test signature: the same

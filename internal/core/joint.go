@@ -1,0 +1,274 @@
+// The joint selection-product search: instead of treating the §5
+// enumeration as a flat list of independent exact solves, the sweep is
+// viewed as a tree over class choices. Two mechanisms exploit the tree
+// shape, both provably output-preserving:
+//
+//   - prefix deduplication — Reduce is a function of the *multiset* of
+//     chosen patterns (subsumption keeps the maximal elements, identical
+//     patterns merge), so two prefixes choosing the same patterns root
+//     identical subtrees: every leaf under the later prefix reduces to a
+//     node set the earlier subtree already produced, and the sweep's
+//     nodeSig dedup would skip it anyway. Skipping the whole subtree up
+//     front removes the per-leaf Reduce without changing the stream of
+//     selections that reach the solver;
+//   - the optimality certificate — a branch and bound over the *full*
+//     choice product (before any enumeration limit) that confirms no
+//     un-enumerated selection beats the cheapest enumerated one. Its
+//     admissible bound rests on tpg.OpSig: distinct operation signatures
+//     can never merge, so each one forces a node of known cost into any
+//     completion's TPG. The certificate reports through observability
+//     metrics only — the Result is byte-identical across solver modes.
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"marchgen/fsm"
+	"marchgen/internal/budget"
+	"marchgen/internal/memo"
+	"marchgen/internal/obs"
+	"marchgen/internal/tpg"
+)
+
+// Solver modes for Options.SolverMode; the generated test is byte-identical
+// in every mode, only solver effort differs.
+const (
+	// SolverEnumerate solves every enumerated selection cold (the
+	// pre-joint behaviour, and the default).
+	SolverEnumerate = "enumerate"
+	// SolverWarm threads each selection's solution into the next solve as
+	// a branch-and-bound warm start (adjacent selections differ by one
+	// class choice, so the patched previous tour is a near-tight bound).
+	SolverWarm = "warm"
+	// SolverJoint is SolverWarm plus the selection-tree mechanisms above.
+	SolverJoint = "joint"
+)
+
+// jointSkips marks the selections whose whole subtree duplicates an
+// earlier one: sels must be the untruncated lexicographic product over
+// per-class choices, so leaves sharing a prefix are contiguous and every
+// completion of an equivalent earlier prefix exists earlier in the list.
+// It returns the skip mask plus the number of pruned subtrees and of
+// leaves they covered (nil mask when nothing prunes).
+func jointSkips(classes []tpg.Class, sels []tpg.Selection) ([]bool, int, int) {
+	if len(sels) < 2 || len(classes) == 0 {
+		return nil, 0, 0
+	}
+	depthMax := len(classes)
+	prefixSig := func(sel tpg.Selection, d int) string {
+		pats := make([]string, d)
+		for i := 0; i < d; i++ {
+			pats[i] = classes[i].Options[sel[i]].String()
+		}
+		sort.Strings(pats)
+		var sb strings.Builder
+		sb.WriteByte(byte(d))
+		for _, p := range pats {
+			sb.WriteString(p)
+			sb.WriteByte(0)
+		}
+		return sb.String()
+	}
+	samePrefix := func(a, b tpg.Selection, d int) bool {
+		for i := 0; i < d; i++ {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	skip := make([]bool, len(sels))
+	seen := map[string]int{}
+	pruned, skipped := 0, 0
+	t := 0
+outer:
+	for t < len(sels) {
+		for d := 1; d <= depthMax; d++ {
+			sig := prefixSig(sels[t], d)
+			f, ok := seen[sig]
+			if !ok {
+				seen[sig] = t
+				continue
+			}
+			if samePrefix(sels[f], sels[t], d) {
+				continue // the establishing prefix itself: descend
+			}
+			// Same chosen-pattern multiset as an earlier, different prefix:
+			// every leaf of this contiguous block pairs with an earlier leaf
+			// reducing to the same node set.
+			end := t
+			for end < len(sels) && samePrefix(sels[t], sels[end], d) {
+				end++
+			}
+			for x := t; x < end; x++ {
+				skip[x] = true
+			}
+			pruned++
+			skipped += end - t
+			t = end
+			continue outer
+		}
+		t++
+	}
+	if skipped == 0 {
+		return nil, 0, 0
+	}
+	return skip, pruned, skipped
+}
+
+// certSearch is the optimality-certificate branch and bound over the full
+// per-class choice product. Caps keep it a bounded post-pass: a search
+// that overruns them reports itself capped instead of completing.
+type certSearch struct {
+	classes []tpg.Class
+	choices [][]int
+	m       *budget.Meter
+	cache   *memo.Cache
+	workers int
+	// selCost maps node-set signatures to exact visit costs the sweep (or
+	// this search) already established, so enumerated selections cost
+	// nothing to certify.
+	selCost map[string]int
+	// best is the incumbent minimum cost (-1: none yet), primed with the
+	// sweep's cheapest enumerated selection.
+	best                              int
+	nodes, leaves, cachedHits, pruned int
+	capped                            bool
+	err                               error
+}
+
+const (
+	// certNodeCap bounds the certificate's tree nodes; certLeafCap bounds
+	// the fresh cost-only exact solves it may trigger.
+	certNodeCap = 20000
+	certLeafCap = 256
+)
+
+// bound is the admissible lower bound of every completion below a partial
+// choice: each distinct operation signature among the chosen patterns
+// forces a distinct TPG node of fixed cost (Subsumes requires equal
+// operations), and a remaining class whose options' signatures avoid both
+// the chosen set and every previously counted class must add one more
+// node, worth at least its cheapest option. Edge weights and start costs
+// are non-negative, so the node costs alone stay below the visit cost.
+func (c *certSearch) bound(chosen []fsm.Pattern, from int) int {
+	blocked := map[string]bool{}
+	sum := 0
+	for _, p := range chosen {
+		sig := tpg.OpSig(p)
+		if !blocked[sig] {
+			blocked[sig] = true
+			sum += len(p.Excite) + 1
+		}
+	}
+	for i := from; i < len(c.classes); i++ {
+		disjoint := true
+		minCost := -1
+		var sigs []string
+		for _, o := range c.choices[i] {
+			p := c.classes[i].Options[o]
+			sig := tpg.OpSig(p)
+			if blocked[sig] {
+				disjoint = false
+				break
+			}
+			sigs = append(sigs, sig)
+			if nc := len(p.Excite) + 1; minCost < 0 || nc < minCost {
+				minCost = nc
+			}
+		}
+		if !disjoint {
+			continue
+		}
+		sum += minCost
+		for _, s := range sigs {
+			blocked[s] = true
+		}
+	}
+	return sum
+}
+
+func (c *certSearch) search(depth int, chosen []fsm.Pattern, sel tpg.Selection) {
+	if c.err != nil || c.capped {
+		return
+	}
+	c.nodes++
+	if c.nodes > certNodeCap {
+		c.capped = true
+		return
+	}
+	if lb := c.bound(chosen, depth); c.best >= 0 && lb > c.best {
+		c.pruned++
+		return
+	}
+	if depth == len(c.classes) {
+		c.leaf(sel)
+		return
+	}
+	for _, o := range c.choices[depth] {
+		sel[depth] = o
+		c.search(depth+1, append(chosen, c.classes[depth].Options[o]), sel)
+		if c.err != nil || c.capped {
+			return
+		}
+	}
+}
+
+func (c *certSearch) leaf(sel tpg.Selection) {
+	nodes := tpg.Reduce(c.classes, sel)
+	sig := nodeSignature(nodes)
+	if cost, ok := c.selCost[sig]; ok {
+		c.cachedHits++
+		if c.best < 0 || cost < c.best {
+			c.best = cost
+		}
+		return
+	}
+	if c.leaves >= certLeafCap {
+		c.capped = true
+		return
+	}
+	c.leaves++
+	cost, err := selectionCost(c.m, nodes, c.workers, c.cache)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.selCost[sig] = cost
+	if c.best < 0 || cost < c.best {
+		c.best = cost
+	}
+}
+
+// runCertificate runs the certificate search and publishes its outcome to
+// the run's metrics: core.joint.cert_nodes / cert_leaves / cert_cached /
+// cert_pruned count the effort, and — only when the search completed
+// within its caps — core.joint.cert_min carries the certified minimum
+// selection cost (core.joint.cert_capped flags an overrun instead). The
+// returned error is non-nil only on hard cancellation.
+func runCertificate(m *budget.Meter, classes []tpg.Class, selCost map[string]int, prime, workers int, cache *memo.Cache, run *obs.Run) error {
+	c := &certSearch{
+		classes: classes,
+		choices: tpg.Choices(classes),
+		m:       m,
+		cache:   cache,
+		workers: workers,
+		selCost: selCost,
+		best:    prime,
+	}
+	c.search(0, make([]fsm.Pattern, 0, len(classes)), make(tpg.Selection, len(classes)))
+	run.Counter("core.joint.cert_nodes").Add(int64(c.nodes))
+	run.Counter("core.joint.cert_leaves").Add(int64(c.leaves))
+	run.Counter("core.joint.cert_cached").Add(int64(c.cachedHits))
+	run.Counter("core.joint.cert_pruned").Add(int64(c.pruned))
+	if c.err != nil {
+		return c.err
+	}
+	if c.capped {
+		run.Counter("core.joint.cert_capped").Inc()
+	} else if c.best >= 0 {
+		run.Counter("core.joint.cert_min").Add(int64(c.best))
+	}
+	return nil
+}

@@ -10,6 +10,9 @@
 //     (every optimal open path of one TPG weight matrix plus its cost),
 //     keyed by the weight-matrix fingerprint — the expensive part of a
 //     run, written the moment each selection's solve completes;
+//   - cost fragments: one cost-only exact solve per TPG weight matrix
+//     (the optimal path cost plus a witnessing path), the bound state the
+//     warm-started solvers prime their incumbent from;
 //   - completeness verdicts: one simulator verdict per candidate March
 //     test, keyed by fault list and test signature.
 //
@@ -30,9 +33,10 @@ import (
 // persist tags the on-disk encodings; a version byte first so a future
 // layout change can't misparse old stores.
 const (
-	persistVersion  = 1
-	persistKindTour = "tour"
-	persistKindBool = "verdict"
+	persistVersion     = 1
+	persistKindTour    = "tour"
+	persistKindBool    = "verdict"
+	persistKindTPGCost = "tpgcost"
 )
 
 // persistEnvelope is the JSON wrapper around every persisted memo value.
@@ -46,6 +50,12 @@ type persistEnvelope struct {
 type persistTour struct {
 	Paths [][]int `json:"paths"`
 	Cost  int     `json:"cost"`
+}
+
+// persistTPGCost is the wire form of a tpgCostFragment.
+type persistTPGCost struct {
+	Cost int   `json:"cost"`
+	Path []int `json:"path"`
 }
 
 // memoCodec implements memo.Codec over the engine's persistable values.
@@ -67,6 +77,12 @@ func (memoCodec) Encode(val any) ([]byte, bool) {
 			return nil, false
 		}
 		env.Kind, env.Data = persistKindTour, data
+	case *tpgCostFragment:
+		data, err := json.Marshal(persistTPGCost{Cost: v.cost, Path: v.path})
+		if err != nil {
+			return nil, false
+		}
+		env.Kind, env.Data = persistKindTPGCost, data
 	case bool:
 		data, err := json.Marshal(v)
 		if err != nil {
@@ -95,6 +111,12 @@ func (memoCodec) Decode(data []byte) (any, bool) {
 			return nil, false
 		}
 		return &tourFragment{paths: t.Paths, cost: t.Cost}, true
+	case persistKindTPGCost:
+		var t persistTPGCost
+		if json.Unmarshal(env.Data, &t) != nil {
+			return nil, false
+		}
+		return &tpgCostFragment{cost: t.Cost, path: t.Path}, true
 	case persistKindBool:
 		var v bool
 		if json.Unmarshal(env.Data, &v) != nil {

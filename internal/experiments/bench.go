@@ -42,6 +42,22 @@ type BenchRow struct {
 	KernelAllocsPerOp uint64 `json:"kernel_allocs_per_op,omitempty"`
 	// ScalarAllocsPerOp counts heap allocations per scalar evaluation.
 	ScalarAllocsPerOp uint64 `json:"scalar_allocs_per_op,omitempty"`
+	// SolverNodesEnumerate / SolverNodesWarm / SolverNodesJoint count the
+	// total exact-solver nodes — Held–Karp states plus branch-and-bound
+	// expansions plus optimal-path enumeration nodes — of one single-worker
+	// cold-cache generation per solver mode. The three modes emit the
+	// byte-identical test (the generator aborts otherwise); only this
+	// effort differs.
+	SolverNodesEnumerate int64 `json:"solver_nodes_enumerate,omitempty"`
+	SolverNodesWarm      int64 `json:"solver_nodes_warm,omitempty"`
+	SolverNodesJoint     int64 `json:"solver_nodes_joint,omitempty"`
+	// SolverNodeReduction is SolverNodesEnumerate / SolverNodesWarm.
+	SolverNodeReduction float64 `json:"solver_node_reduction,omitempty"`
+	// SolverWarmNS / SolverJointNS time one single-worker cold-cache
+	// generation under the warm and joint solver modes (minimum over reps;
+	// the sequential_ns column is the enumerate-mode equivalent).
+	SolverWarmNS  int64 `json:"solver_warm_ns,omitempty"`
+	SolverJointNS int64 `json:"solver_joint_ns,omitempty"`
 }
 
 // BenchEntry is one labelled measurement campaign: a full Table 3 sweep
@@ -159,6 +175,38 @@ func FormatBenchKernel(e *BenchEntry) string {
 			r.Faults, r.Complexity,
 			formatNS(r.ScalarEvalNS), formatNS(r.KernelEvalNS),
 			r.SpeedupKernel, r.ScalarAllocsPerOp, r.KernelAllocsPerOp)
+	}
+	return b.String()
+}
+
+// FormatBenchSolver renders the solver-mode node-count columns of a bench
+// entry as a markdown table (empty string when the entry is nil or carries
+// no solver measurements).
+func FormatBenchSolver(e *BenchEntry) string {
+	if e == nil {
+		return ""
+	}
+	any := false
+	for _, r := range e.Rows {
+		if r.SolverNodesEnumerate > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("| fault list | kn | enumerate nodes | warm nodes | joint nodes | reduction | enumerate time | warm time |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range e.Rows {
+		if r.SolverNodesEnumerate <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %dn | %d | %d | %d | %.1f× | %s | %s |\n",
+			r.Faults, r.Complexity,
+			r.SolverNodesEnumerate, r.SolverNodesWarm, r.SolverNodesJoint,
+			r.SolverNodeReduction, formatNS(r.SequentialNS), formatNS(r.SolverWarmNS))
 	}
 	return b.String()
 }

@@ -205,6 +205,47 @@ kernel silently falls back to the scalar path.
 		}
 	}
 	b.WriteString(`
+### Bound-quality methodology — AP lower bounds and warm-started exact solves
+
+The exact ordering step is an assignment-bound branch and bound
+(Carpaneto–Dell'Amico–Toth scheme, the family of the paper's ACM 750
+code): every search node is bounded by the optimal assignment of its
+constrained cost matrix, maintained *incrementally* — a child node clones
+the parent's Hungarian dual state and re-augments only the rows its new
+arc constraints invalidated. Bound quality is measured, not assumed:
+
+- **Admissibility** — ` + "`TestAPBoundAdmissible`" + ` instruments every node of
+  randomized instances (n ≤ 9, sequential and 4-way parallel, under the
+  race detector) and asserts the AP bound never exceeds the brute-force
+  optimum of that node's own subproblem.
+- **Tightness** — on TPG matrices the root AP bound almost always equals
+  the warm-started incumbent (the previous selection's patched tour), so
+  cost-only solves finish at the root with zero branching. The
+  per-row node counts before and after live in
+  ` + "`testdata/solver_nodes.golden`" + `: total exact-solver nodes
+  (Held–Karp states + branch-and-bound expansions + enumeration nodes)
+  per Table 3 row and solver mode, at one worker on a cold cache, so any
+  bound regression shows up as a reviewed golden diff.
+- **Output invariance** — the warm and joint modes must emit the
+  byte-identical test of the enumerate baseline; strict pruning plus
+  lex-min tie-breaking makes the returned tour schedule-independent.
+  ` + "`TestSolverModesDifferential`" + `, ` + "`FuzzWarmStartEquivalence`" + ` and
+  ` + "`FuzzJointSelectionEquivalence`" + ` pin this across the fault library,
+  worker counts and fuzz-derived instances; CI runs them in the
+  ` + "`solver-differential`" + ` job.
+
+The ` + "`solver-warmstart`" + ` bench entry records the node counts and
+single-worker times per mode; CI's bench smoke fails if the warm solver
+stops cutting total nodes by ≥ 3× on the complexity-6 rows
+(` + "`marchbench -require-solver-gain 3`" + `).
+`)
+	if bf, err := LoadBenchFile("BENCH_generate.json"); err == nil {
+		if tbl := FormatBenchSolver(bf.Entry("solver-warmstart")); tbl != "" {
+			b.WriteString("\nCommitted solver-entry measurements:\n\n")
+			b.WriteString(tbl)
+		}
+	}
+	b.WriteString(`
 ## Service throughput — closed-loop load on marchserve
 
 The committed ` + "`BENCH_serve.json`" + ` tracks the HTTP service

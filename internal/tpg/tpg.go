@@ -128,6 +128,23 @@ func Classes(instances []fault.Instance) []Class {
 	return out
 }
 
+// OpSig fingerprints a pattern's operation signature — the excitation
+// sequence plus the observing read, ignoring initialisation. Subsumption
+// requires equal operations (see Subsumes), so patterns with different
+// signatures can never merge: every distinct signature among the chosen
+// options of a selection forces at least one distinct node into the
+// reduced TPG. The joint selection search builds its admissible
+// lower bound on that guarantee.
+func OpSig(p fsm.Pattern) string {
+	var sb strings.Builder
+	for _, in := range p.Excite {
+		sb.WriteString(in.String())
+		sb.WriteByte(';')
+	}
+	sb.WriteString(p.Observe.String())
+	return sb.String()
+}
+
 // equalOps reports whether two patterns share excitation and observation.
 func equalOps(a, b fsm.Pattern) bool {
 	if len(a.Excite) != len(b.Excite) || a.Observe != b.Observe {
@@ -218,41 +235,7 @@ func Reduce(classes []Class, sel Selection) []Node {
 // combinations; beyond the limit, only the first option of the overflow
 // classes is used.
 func Selections(classes []Class, limit int) []Selection {
-	mandatory := []fsm.Pattern{}
-	for _, c := range classes {
-		if len(c.Options) == 1 {
-			mandatory = append(mandatory, c.Options[0])
-		}
-	}
-	// For each class, find the options worth enumerating.
-	choices := make([][]int, len(classes))
-	for k, c := range classes {
-		if len(c.Options) == 1 {
-			choices[k] = []int{0}
-			continue
-		}
-		subsumed := -1
-		for o, opt := range c.Options {
-			for _, m := range mandatory {
-				if Subsumes(m, opt) {
-					subsumed = o
-					break
-				}
-			}
-			if subsumed >= 0 {
-				break
-			}
-		}
-		if subsumed >= 0 {
-			choices[k] = []int{subsumed}
-			continue
-		}
-		all := make([]int, len(c.Options))
-		for o := range all {
-			all[o] = o
-		}
-		choices[k] = all
-	}
+	choices := Choices(classes)
 	product := func() int {
 		total := 1
 		for k := range choices {
@@ -285,4 +268,49 @@ func Selections(classes []Class, limit int) []Selection {
 		sels = next
 	}
 	return sels
+}
+
+// Choices returns, per class, the option indices worth enumerating after
+// the Section 5 collapse: single-option classes are pinned, and a class
+// with an option subsumed by some mandatory pattern is satisfied for free
+// by that option alone. The full selection space is the cartesian product
+// of these lists in class order — the E = ∏|Cᵢ| figure before any
+// enumeration limit trims it — which the joint selection search explores
+// as a tree instead of a flat list.
+func Choices(classes []Class) [][]int {
+	mandatory := []fsm.Pattern{}
+	for _, c := range classes {
+		if len(c.Options) == 1 {
+			mandatory = append(mandatory, c.Options[0])
+		}
+	}
+	choices := make([][]int, len(classes))
+	for k, c := range classes {
+		if len(c.Options) == 1 {
+			choices[k] = []int{0}
+			continue
+		}
+		subsumed := -1
+		for o, opt := range c.Options {
+			for _, m := range mandatory {
+				if Subsumes(m, opt) {
+					subsumed = o
+					break
+				}
+			}
+			if subsumed >= 0 {
+				break
+			}
+		}
+		if subsumed >= 0 {
+			choices[k] = []int{subsumed}
+			continue
+		}
+		all := make([]int, len(c.Options))
+		for o := range all {
+			all[o] = o
+		}
+		choices[k] = all
+	}
+	return choices
 }

@@ -1,0 +1,123 @@
+package marchgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/internal/experiments"
+)
+
+// solverModeRows is the differential corpus: every built-in fault model
+// alone, the paper's Table 3 rows, and a few mixed lists that exercise wide
+// selection products. The three solver modes must generate byte-identical
+// tests on all of them.
+func solverModeRows(t testing.TB) []string {
+	rows := append([]string{}, fault.ModelNames()...)
+	for _, spec := range experiments.Table3Spec() {
+		rows = append(rows, spec.Faults)
+	}
+	return append(rows, "SAF,TF,CFst", "TF,CFid,CFin", "SOF,WDF,IRF")
+}
+
+type modeRun struct {
+	test       string
+	complexity int
+	selections int
+	nodes      int
+	pathCost   int
+	minSelCost int
+}
+
+func runMode(t *testing.T, faults, mode string, workers int) modeRun {
+	t.Helper()
+	res, err := GenerateCtx(context.Background(), faults,
+		WithSolverMode(mode), WithWorkers(workers), WithoutCache())
+	if err != nil {
+		t.Fatalf("%s [%s, workers=%d]: %v", faults, mode, workers, err)
+	}
+	return modeRun{
+		test:       res.Test.String(),
+		complexity: res.Complexity,
+		selections: res.Stats.Selections,
+		nodes:      res.Stats.TPGNodes,
+		pathCost:   res.Stats.PathCost,
+		minSelCost: res.Stats.MinSelectionCost,
+	}
+}
+
+// TestSolverModesDifferential is the cross-mode differential battery: for
+// every corpus row, the warm and joint solvers must reproduce the enumerate
+// baseline exactly — same test string, complexity, selection statistics,
+// path cost and minimum selection cost. The Table 3 rows additionally run
+// every mode at four workers, crossing the mode axis with the scheduling
+// axis. The modes may only differ in effort, never output.
+func TestSolverModesDifferential(t *testing.T) {
+	wide := map[string]bool{}
+	for _, spec := range experiments.Table3Spec() {
+		wide[spec.Faults] = true
+	}
+	for _, faults := range solverModeRows(t) {
+		base := runMode(t, faults, SolverEnumerate, 1)
+		for _, mode := range []string{SolverEnumerate, SolverWarm, SolverJoint} {
+			workerCounts := []int{1}
+			if wide[faults] {
+				workerCounts = []int{1, 4}
+			}
+			for _, workers := range workerCounts {
+				if mode == SolverEnumerate && workers == 1 {
+					continue // the baseline itself
+				}
+				got := runMode(t, faults, mode, workers)
+				if got != base {
+					t.Errorf("%s [%s, workers=%d]:\n got %+v\nwant %+v", faults, mode, workers, got, base)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverModeUnknown locks the usage error for a bad mode string.
+func TestSolverModeUnknown(t *testing.T) {
+	_, err := Generate("SAF", WithSolverMode("quantum"))
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("unknown solver mode: got %v, want ErrUsage", err)
+	}
+}
+
+// FuzzJointSelectionEquivalence fuzzes fault-list composition: any subset of
+// the built-in model library must generate the byte-identical test under the
+// enumerate and joint solvers. The fuzzer explores selection-product shapes
+// (single-class, subsumption-collapsed, budget-trimmed) that the fixed
+// differential corpus cannot cover.
+func FuzzJointSelectionEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(2))
+	f.Add(uint8(9), uint8(9), uint8(9))
+	f.Add(uint8(3), uint8(11), uint8(200))
+	f.Add(uint8(255), uint8(0), uint8(7))
+	names := fault.ModelNames()
+	f.Fuzz(func(t *testing.T, a, b, c uint8) {
+		picked := map[string]bool{names[int(a)%len(names)]: true}
+		if b%2 == 0 {
+			picked[names[int(b)%len(names)]] = true
+		}
+		if c%3 == 0 {
+			picked[names[int(c)%len(names)]] = true
+		}
+		faults := ""
+		for _, n := range names { // deterministic order
+			if picked[n] {
+				if faults != "" {
+					faults += ","
+				}
+				faults += n
+			}
+		}
+		enum := runMode(t, faults, SolverEnumerate, 1)
+		joint := runMode(t, faults, SolverJoint, 1)
+		if enum != joint {
+			t.Errorf("%s: joint diverges from enumerate:\n got %+v\nwant %+v", faults, joint, enum)
+		}
+	})
+}

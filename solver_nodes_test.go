@@ -1,0 +1,124 @@
+package marchgen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"marchgen/internal/experiments"
+)
+
+// solverEffort is the deterministic solver-effort profile of one
+// single-worker, cold-cache generation run, extracted from the metrics
+// snapshot. Every field is schedule-independent at one worker, so the
+// profile is stable across runs and machines.
+type solverEffort struct {
+	hkStates   int64 // Held–Karp dynamic-program states
+	bbExpanded int64 // branch-and-bound nodes bounded
+	bbPruned   int64 // branch-and-bound subtrees cut by the AP bound
+	bbShort    int64 // solves finished by the warm root shortcut
+	enumNodes  int64 // optimal-path enumeration nodes
+	subtrees   int64 // joint mode: duplicate selection subtrees pruned
+	leavesSkip int64 // joint mode: selection leaves those subtrees covered
+	certNodes  int64 // joint mode: certificate search tree nodes
+	certLeaves int64 // joint mode: fresh exact solves the certificate ran
+	certMin    int64 // joint mode: certified minimum selection cost
+	certCapped int64 // joint mode: 1 if the certificate hit its caps
+}
+
+func (e solverEffort) total() int64 { return e.hkStates + e.bbExpanded + e.enumNodes }
+
+func measureSolverEffort(t *testing.T, faults, mode string) solverEffort {
+	t.Helper()
+	res, err := GenerateCtx(context.Background(), faults,
+		WithSolverMode(mode), WithWorkers(1), WithoutCache(), WithMetrics())
+	if err != nil {
+		t.Fatalf("%s [%s]: %v", faults, mode, err)
+	}
+	m := res.Stats.Metrics
+	return solverEffort{
+		hkStates:   m["atsp.heldkarp.states"],
+		bbExpanded: m["atsp.bb.expanded"],
+		bbPruned:   m["atsp.bb.pruned"],
+		bbShort:    m["atsp.bb.warmshort"],
+		enumNodes:  m["atsp.enum.nodes"],
+		subtrees:   m["core.joint.subtrees_pruned"],
+		leavesSkip: m["core.joint.leaves_skipped"],
+		certNodes:  m["core.joint.cert_nodes"],
+		certLeaves: m["core.joint.cert_leaves"],
+		certMin:    m["core.joint.cert_min"],
+		certCapped: m["core.joint.cert_capped"],
+	}
+}
+
+// TestSolverNodesGolden locks the per-row, per-mode solver effort for the
+// paper's Table 3 fault lists against a committed golden file: Held–Karp
+// state counts, branch-and-bound node and prune counts, warm-shortcut hits,
+// enumeration nodes, and the joint mode's subtree-pruning and certificate
+// figures. Any solver change that moves node counts — a weaker bound, a
+// lost warm start, a broken prune — shows up as a diff here even when the
+// generated test stays identical:
+//
+//	go test -run TestSolverNodesGolden -update .
+func TestSolverNodesGolden(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# Solver effort per Table 3 fault list and solver mode (workers=1, cold cache).\n")
+	b.WriteString("# total = heldkarp states + branch-and-bound nodes + enumeration nodes.\n")
+	b.WriteString("# Format: <faults> | <mode> | total=<n> hk=<states> bb=<expanded>/<pruned> short=<n> enum=<n> | joint: subtrees=<n> skipped=<n> cert=<nodes>/<fresh> min=<cost>\n")
+	for _, spec := range experiments.Table3Spec() {
+		for _, mode := range []string{SolverEnumerate, SolverWarm, SolverJoint} {
+			e := measureSolverEffort(t, spec.Faults, mode)
+			fmt.Fprintf(&b, "%s | %s | total=%d hk=%d bb=%d/%d short=%d enum=%d",
+				spec.Faults, mode, e.total(), e.hkStates, e.bbExpanded, e.bbPruned, e.bbShort, e.enumNodes)
+			if mode == SolverJoint {
+				cert := fmt.Sprintf("%d", e.certMin)
+				if e.certCapped > 0 {
+					cert = "capped"
+				}
+				fmt.Fprintf(&b, " | joint: subtrees=%d skipped=%d cert=%d/%d min=%s",
+					e.subtrees, e.leavesSkip, e.certNodes, e.certLeaves, cert)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "solver_nodes.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Errorf("solver effort diverges from %s (re-run with -update if intended):\ngot:\n%swant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestJointNodeReduction pins the headline scale claim: on the paper's
+// complexity-6 row the warm and joint solvers must expand at most a third
+// of the enumerate baseline's total solver nodes. This is the in-tree twin
+// of the CI bench smoke.
+func TestJointNodeReduction(t *testing.T) {
+	const faults = "SAF,TF,ADF,CFin"
+	base := measureSolverEffort(t, faults, SolverEnumerate)
+	for _, mode := range []string{SolverWarm, SolverJoint} {
+		e := measureSolverEffort(t, faults, mode)
+		if 3*e.total() > base.total() {
+			t.Errorf("%s: %s total nodes %d, enumerate %d — less than 3x reduction",
+				faults, mode, e.total(), base.total())
+		}
+	}
+}
