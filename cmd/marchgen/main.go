@@ -11,9 +11,11 @@
 //
 // Observability: -trace writes a JSONL span trace of the pipeline,
 // -chrome-trace a Chrome trace_event file, -metrics dumps the metric
-// snapshot as JSON to stderr on exit and -pprof serves net/http/pprof
-// plus expvar and /metrics on the given address. All are off by default
-// and cost nothing when off.
+// snapshot as JSON to stderr on exit, -pprof serves net/http/pprof
+// plus expvar and /metrics on the given address and -progress logs
+// live engine progress lines (stage, selection fraction, incumbent
+// tour cost vs lower bound, node throughput, ETA) to stderr. All are
+// off by default and cost nothing when off.
 //
 // Exit codes: 0 success (optimal result), 1 failure, 2 usage error,
 // 3 canceled or -timeout exceeded, 4 a soft budget ran out and the

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
 
 // result is one completed request's measurement.
@@ -87,8 +88,16 @@ type Report struct {
 	P50US  int64 `json:"p50_us"`
 	P90US  int64 `json:"p90_us"`
 	P99US  int64 `json:"p99_us"`
+	P999US int64 `json:"p999_us"`
 	MaxUS  int64 `json:"max_us"`
 	MeanUS int64 `json:"mean_us"`
+	// The full latency distribution over the same SLO bucket boundaries
+	// the server's /metrics histograms use: HistBoundsUS[i] is the
+	// inclusive upper bound (µs) of HistCounts[i], and the final extra
+	// count holds everything past the last bound (+Inf). Trajectory
+	// entries therefore diff bucket-by-bucket across runs.
+	HistBoundsUS []int64 `json:"hist_bounds_us"`
+	HistCounts   []int64 `json:"hist_counts"`
 }
 
 func main() { os.Exit(run()) }
@@ -157,9 +166,10 @@ func run() int {
 
 	fmt.Printf("requests: %d ok / %d shed / %d errors (%d retries) in %s (%.1f req/s)\n",
 		rep.OK, rep.Shed, rep.Errors, rep.Retries, elapsed.Round(time.Millisecond), rep.ThroughputRPS)
-	fmt.Printf("latency:  p50 %s  p90 %s  p99 %s  max %s\n",
+	fmt.Printf("latency:  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
 		time.Duration(rep.P50US)*time.Microsecond, time.Duration(rep.P90US)*time.Microsecond,
-		time.Duration(rep.P99US)*time.Microsecond, time.Duration(rep.MaxUS)*time.Microsecond)
+		time.Duration(rep.P99US)*time.Microsecond, time.Duration(rep.P999US)*time.Microsecond,
+		time.Duration(rep.MaxUS)*time.Microsecond)
 	fmt.Printf("sharing:  %d coalesced, %d from cache\n", rep.Coalesced, rep.FromCache)
 
 	if *out != "" {
@@ -266,9 +276,15 @@ func summarize(results []result, elapsed time.Duration) Report {
 		i := int(p * float64(len(lat)-1))
 		return lat[i]
 	}
-	rep.P50US, rep.P90US, rep.P99US = pct(0.50), pct(0.90), pct(0.99)
+	rep.P50US, rep.P90US, rep.P99US, rep.P999US = pct(0.50), pct(0.90), pct(0.99), pct(0.999)
 	rep.MaxUS = lat[len(lat)-1]
 	rep.MeanUS = sum / int64(len(lat))
+	rep.HistBoundsUS = append([]int64(nil), obs.SLOLatencyBounds...)
+	rep.HistCounts = make([]int64, len(rep.HistBoundsUS)+1)
+	for _, us := range lat {
+		i := sort.Search(len(rep.HistBoundsUS), func(k int) bool { return us <= rep.HistBoundsUS[k] })
+		rep.HistCounts[i]++
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.ThroughputRPS = float64(len(lat)) / secs
 	}

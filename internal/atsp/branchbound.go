@@ -135,7 +135,7 @@ func BranchBoundOpt(mt *budget.Meter, m Matrix, opt SolveOptions) (_ []int, _ in
 	if workers > 1 {
 		sp.SetInt("workers", int64(workers))
 	}
-	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers)}
+	s := &bbShared{orig: m, mt: mt, queues: make([]bbQueue, workers), prog: run.Progress()}
 	s.bound.Store(unset)
 	rootExpanded, rootPruned := 0, 0
 	defer func() {
@@ -148,6 +148,7 @@ func BranchBoundOpt(mt *budget.Meter, m Matrix, opt SolveOptions) (_ []int, _ in
 		run.Counter("atsp.bb.expanded").Add(expanded)
 		run.Counter("atsp.bb.pruned").Add(pruned)
 		run.Counter("atsp.bb.steals").Add(s.steals.Load())
+		s.prog.AddNodes(int64(rootExpanded))
 		if workers == 1 {
 			sp.SetInt("expanded", expanded).SetInt("pruned", pruned)
 		}
@@ -185,17 +186,32 @@ func BranchBoundOpt(mt *budget.Meter, m Matrix, opt SolveOptions) (_ []int, _ in
 		rootPruned++
 		return nil, 0, fmt.Errorf("atsp: no feasible tour")
 	}
+	// The root relaxation is the solve's global lower bound: publish it
+	// against the primed incumbent, and stamp it on the span so recorded
+	// traces carry the bound ≤ incumbent invariant tracecheck validates.
+	s.rootLB = int64(lb)
+	sp.SetInt("bound", int64(lb))
+	if incCost < Inf {
+		s.prog.Search(int64(incCost), int64(lb))
+	} else {
+		s.prog.Search(-1, int64(lb))
+	}
 	if opt.CostOnly && incTour != nil && lb == incCost {
 		// The relaxation is tight against the incumbent: the incumbent is
 		// optimal and the caller does not need the canonical tour.
 		run.Counter("atsp.bb.warmshort").Inc()
+		sp.SetInt("incumbent", int64(incCost))
+		s.prog.Search(int64(incCost), int64(lb))
 		return incTour, incCost, nil
 	}
 	cycle := shortestSubtour(rowToCol)
 	if len(cycle) == n {
 		// The root assignment is a single Hamiltonian cycle: it is the
 		// only tour the offered-set contract reaches, and it is optimal.
-		return canonical(cycle), m.TourCost(cycle), nil
+		cost := m.TourCost(cycle)
+		sp.SetInt("incumbent", int64(cost))
+		s.prog.Search(int64(cost), int64(lb))
+		return canonical(cycle), cost, nil
 	}
 	for _, child := range bbBranch(root, rowToCol, cycle) {
 		s.outstanding.Add(1)
@@ -220,6 +236,7 @@ func BranchBoundOpt(mt *budget.Meter, m Matrix, opt SolveOptions) (_ []int, _ in
 	if s.best == nil {
 		return nil, 0, fmt.Errorf("atsp: no feasible tour")
 	}
+	sp.SetInt("incumbent", s.bound.Load())
 	return s.best, int(s.bound.Load()), nil
 }
 

@@ -140,6 +140,7 @@ func OptimalPathsOpt(mt *budget.Meter, m Matrix, startCost []int, limit int, opt
 	rec(0)
 	if run := obs.From(mt.Context()); run != nil {
 		run.Counter("atsp.enum.nodes").Add(int64(nodes))
+		run.Progress().AddNodes(int64(nodes))
 		run.StartUnder("atsp/enumerate").
 			SetInt("n", int64(n)).
 			SetInt("nodes", int64(nodes)).

@@ -37,6 +37,8 @@ func HeldKarpMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	defer func() {
 		sp.SetInt("states", int64(states)).End()
 		run.Counter("atsp.heldkarp.states").Add(int64(states))
+		// DP states are this regime's search nodes for the progress probes.
+		run.Progress().AddNodes(int64(states))
 	}()
 	// dp[mask][v]: cheapest cost of starting at 0, visiting exactly the
 	// nodes of mask (which always contains 0 and v), ending at v.
@@ -87,6 +89,10 @@ func HeldKarpMeter(mt *budget.Meter, m Matrix) ([]int, int, error) {
 	if bestEnd < 0 {
 		return nil, 0, fmt.Errorf("atsp: no tour found")
 	}
+	// The DP is exact in one pass: the optimum doubles as incumbent and
+	// bound, so progress readers see the solve land already converged.
+	sp.SetInt("incumbent", int64(best)).SetInt("bound", int64(best))
+	run.Progress().Search(int64(best), int64(best))
 	tour := make([]int, 0, n)
 	mask, v := full, bestEnd
 	for v != -1 {

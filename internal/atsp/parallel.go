@@ -6,7 +6,14 @@ import (
 	"sync/atomic"
 
 	"marchgen/internal/budget"
+	"marchgen/internal/obs"
 )
+
+// progressFlush is how many locally counted node expansions a worker
+// accumulates before flushing them into the shared live-progress cell —
+// large enough to keep the shared atomic off the per-node path, small
+// enough that the streamed node rate tracks a long solve closely.
+const progressFlush = 1024
 
 // unset is the incumbent sentinel before any feasible tour is known. It is
 // far above any reachable tour cost yet small enough that comparisons
@@ -45,6 +52,12 @@ type bbShared struct {
 	bound atomic.Int64
 	mu    sync.Mutex
 	best  []int
+
+	// prog is the run's live-progress surface (nil-safe) and rootLB the
+	// root relaxation bound: offer publishes every incumbent improvement
+	// against it, and workers flush expanded-node batches into it.
+	prog   *obs.Progress
+	rootLB int64
 
 	// outstanding counts open subproblems not yet fully expanded; the
 	// search is done when it reaches zero.
@@ -127,6 +140,7 @@ func (s *bbShared) offer(cycle []int) {
 	if cost < cur || (cost == cur && (s.best == nil || lexLess(tour, s.best))) {
 		s.best = tour
 		s.bound.Store(cost)
+		s.prog.Search(cost, s.rootLB)
 	}
 }
 
@@ -134,15 +148,22 @@ func (s *bbShared) offer(cycle []int) {
 // empty, exiting when every open subproblem has been expanded. Search
 // effort is counted in locals and flushed to the shared totals once.
 func (s *bbShared) worker(id int) {
-	var expanded, pruned, steals int64
+	var expanded, pruned, steals, flushed int64
 	defer func() {
 		s.expanded.Add(expanded)
 		s.pruned.Add(pruned)
 		s.steals.Add(steals)
+		s.prog.AddNodes(expanded - flushed)
 	}()
 	for {
 		if s.stop.Load() {
 			return
+		}
+		// Batch the live node count out of the hot loop: one shared
+		// atomic add per progressFlush expansions, not one per node.
+		if expanded-flushed >= progressFlush {
+			s.prog.AddNodes(expanded - flushed)
+			flushed = expanded
 		}
 		nd, ok := s.queues[id].pop()
 		if !ok {

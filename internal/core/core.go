@@ -299,6 +299,11 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	res.Instances = instances
 	res.Classes = len(classes)
 	res.Selections = len(selections)
+	// prog is the run's live-progress surface (nil-safe): the sweep
+	// position, candidate count and best complexity stream out of here to
+	// the job tier's SSE events and the marchgen -progress ticker.
+	prog := run.Progress()
+	prog.Selection(0, int64(len(selections)))
 	gen := &genContext{
 		ctx:         ctx,
 		instances:   instances,
@@ -334,7 +339,11 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	minSel := -1
 search:
 	for idx, sel := range selections {
-		stages.Enter("select")
+		// Each select span carries the sweep fraction in parts per
+		// million: successive spans of one run are monotone, an invariant
+		// tracecheck validates on recorded traces.
+		stages.Enter("select").SetInt("progress_ppm", int64(idx)*1_000_000/int64(len(selections)))
+		prog.Selection(int64(idx), int64(len(selections)))
 		if err := m.CheckNow(); err != nil {
 			return nil, err
 		}
@@ -396,6 +405,7 @@ search:
 					break search
 				}
 				res.Candidates++
+				prog.Candidates(int64(res.Candidates))
 				if best != nil && cand.Complexity() >= best.Complexity()+2 {
 					continue // too long to beat the incumbent even after shrinking
 				}
@@ -417,6 +427,7 @@ search:
 				if better(cand, best) {
 					best = cand
 					bestNodes, bestCost = len(nodes), cost
+					prog.Best(int64(best.Complexity()))
 				}
 			}
 		}
@@ -456,6 +467,9 @@ search:
 		return nil, fmt.Errorf("core: no valid March test found for the fault list (%d classes): %w", len(classes), budget.ErrUnsupportedFault)
 	}
 	stages.Enter("finalize")
+	// The sweep is over (possibly degraded): pin the fraction at 1 so
+	// late progress readers see completion rather than the last index.
+	prog.Selection(int64(res.Selections), int64(res.Selections))
 	best = gen.relaxOrders(best)
 	if gen.err != nil {
 		return nil, gen.err

@@ -111,6 +111,9 @@ func BuildWorkers(ctx context.Context, t *march.Test, instances []fault.Instance
 				ops:   run.MismatchOps,
 			})
 		}
+		// Every run of instance i mismatched: its coverage obligation is
+		// satisfied — stream the verify path's progress through the list.
+		run.Progress().Coverage(int64(i+1), int64(len(instances)))
 	}
 	// The row universe is the test's flattened op index space; a scratch
 	// presence slice replaces the old map-backed row set.

@@ -3,6 +3,8 @@ package jobs
 import (
 	"sync"
 	"time"
+
+	"marchgen/internal/obs"
 )
 
 // Event is one job progress notification, streamed to subscribers (the
@@ -32,6 +34,13 @@ type Event struct {
 	ResultHash string `json:"result_hash,omitempty"`
 	// Error carries the typed error on terminal failure events.
 	Error *JobError `json:"error,omitempty"`
+
+	// Progress is the engine's live-progress snapshot at emission time
+	// (stage, sweep fraction, incumbent cost vs lower bound,
+	// coverage-so-far, node rate, ETA) on "progress" events of a job this
+	// process is executing. Replayed history keeps the snapshot that was
+	// current when the event was published.
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // ringCap bounds the replay ring; subChanCap buffers each subscriber.
@@ -133,6 +142,11 @@ func (b *bus) close() {
 		return
 	}
 	b.closed = true
+	// The rate-limit map exists only to throttle live emission: drop it
+	// with the stream so a long-lived Job handle (status reads keep
+	// terminal jobs in the manager's map) does not pin one entry per
+	// distinct span name for the rest of the process.
+	b.lastEmit = nil
 	for id, ch := range b.subs {
 		delete(b.subs, id)
 		close(ch)

@@ -75,6 +75,12 @@ type Job struct {
 	rec      Record
 	lastCkpt time.Time
 
+	// run is the engine's observability run while this process executes
+	// the job (nil for adopted-terminal or not-yet-started jobs): the
+	// source of the live progress snapshots streamed on the bus and
+	// served on status reads.
+	run *obs.Run
+
 	// done closes when the job reaches a terminal state. An interrupted
 	// (checkpointed, awaiting resume) job does not close it; its bus
 	// closes instead, releasing streaming subscribers.
@@ -329,10 +335,21 @@ const progressEvery = 50 * time.Millisecond
 func (m *Manager) run(j *Job) {
 	defer m.wg.Done()
 	run := obs.NewRun()
+	j.mu.Lock()
+	j.run = run
+	j.mu.Unlock()
 	run.Notify(j.observe)
 	j.transition(StateRunning, "")
 	rec := j.Snapshot()
+	stopTicker := j.startProgressTicker(run)
 	res, err := m.cfg.Exec(obs.Into(m.ctx, run), rec.Kind, rec.Request, run)
+	stopTicker()
+	// The run is live telemetry: detach it before the terminal
+	// transition so status reads on a finished job report no progress
+	// (and the long-lived Job handle does not pin the run's recorder).
+	j.mu.Lock()
+	j.run = nil
+	j.mu.Unlock()
 	switch {
 	case err == nil:
 		j.complete(res)
@@ -344,19 +361,76 @@ func (m *Manager) run(j *Job) {
 }
 
 // observe is the obs.Notify hook: every finished span becomes a
-// (throttled) progress event, and stage-boundary spans trigger durable
-// checkpoints.
+// (throttled) progress event carrying the engine's live progress
+// snapshot, and stage-boundary spans trigger durable checkpoints.
 func (j *Job) observe(ev obs.Event) {
 	stage := ""
 	if strings.HasPrefix(ev.Name, stagePrefix) {
 		stage = strings.TrimPrefix(ev.Name, stagePrefix)
 	}
 	if j.bus.shouldEmit(ev.Name, progressEvery) {
-		j.bus.publish(Event{Type: "progress", Span: ev.Name, DurUS: ev.DurUS, Stage: stage})
+		e := Event{Type: "progress", Span: ev.Name, DurUS: ev.DurUS, Stage: stage}
+		if run := j.liveRun(); run != nil {
+			snap := run.ProgressSnapshot()
+			e.Progress = &snap
+		}
+		j.bus.publish(e)
 	}
 	if stage != "" {
 		j.checkpoint(stage)
 	}
+}
+
+// liveRun returns the job's engine run, nil when this process is not
+// executing it.
+func (j *Job) liveRun() *obs.Run {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.run
+}
+
+// Progress returns the engine's latest live-progress snapshot, false
+// when this process never executed the job (adopted terminal records,
+// jobs queued behind a closed manager).
+func (j *Job) Progress() (obs.ProgressSnapshot, bool) {
+	run := j.liveRun()
+	if run == nil {
+		return obs.ProgressSnapshot{}, false
+	}
+	return run.ProgressSnapshot(), true
+}
+
+// startProgressTicker streams periodic progress events while the
+// executor runs, covering the long silent stretches (a deep
+// branch-and-bound subtree expands millions of nodes without finishing
+// a single stage span). A tick publishes only when an engine-written
+// cell moved, so an idle wait costs nothing downstream; the returned
+// stop func ends the stream.
+func (j *Job) startProgressTicker(run *obs.Run) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(progressEvery)
+		defer t.Stop()
+		var prev obs.ProgressSnapshot
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				snap := run.ProgressSnapshot()
+				if !snap.Changed(prev) {
+					continue
+				}
+				prev = snap
+				j.bus.publish(Event{
+					Type:     "progress",
+					Stage:    strings.TrimPrefix(snap.Stage, stagePrefix),
+					Progress: &snap,
+				})
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // checkpoint persists the record at a stage boundary (throttled; a new

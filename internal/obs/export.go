@@ -1,0 +1,101 @@
+package obs
+
+import "sort"
+
+// MetricPoint is one named scalar in an Export.
+type MetricPoint struct {
+	Name  string // dotted metric name ("serve.generate.ok")
+	Value int64  // current counter or gauge reading
+}
+
+// HistogramExport is the bucket-level state of one histogram in an
+// Export, in the shape exposition formats want: Bounds[i] is the
+// inclusive upper bound of Buckets[i] and a final implicit +Inf bucket
+// (Buckets[len(Bounds)]) holds everything past the last bound. Buckets
+// are raw per-bucket counts, not cumulative.
+type HistogramExport struct {
+	Name    string  // dotted metric name
+	Count   int64   // total observations
+	Sum     int64   // sum of observed values
+	Bounds  []int64 // ascending inclusive upper bounds, one per bucket
+	Buckets []int64 // per-bucket counts; Buckets[len(Bounds)] is +Inf
+}
+
+// Export is the typed counterpart of Snapshot: every metric with its
+// kind and, for histograms, full bucket detail — what the Prometheus
+// text exposition needs and the flat int64 map cannot carry. Slices
+// are sorted by name.
+type Export struct {
+	Counters   []MetricPoint     // monotone counts
+	Gauges     []MetricPoint     // instantaneous values
+	Histograms []HistogramExport // pow2 and SLO histograms, full buckets
+}
+
+// Export returns the run's typed metrics snapshot. The power-of-two
+// histograms export with bounds 2^k-1 (trimmed to the highest used
+// bucket); SLO histograms export their explicit bounds. Nil runs
+// export the zero Export.
+func (r *Run) Export() Export {
+	if r == nil {
+		return Export{}
+	}
+	var ex Export
+	r.reg.mu.RLock()
+	defer r.reg.mu.RUnlock()
+	for name, c := range r.reg.counters {
+		ex.Counters = append(ex.Counters, MetricPoint{name, c.Value()})
+	}
+	ex.Counters = append(ex.Counters,
+		MetricPoint{"obs.spans", r.rec.count.Load()},
+		MetricPoint{"obs.spans_dropped", r.rec.dropped.Load()},
+	)
+	for name, g := range r.reg.gauges {
+		ex.Gauges = append(ex.Gauges, MetricPoint{name, g.Value()})
+	}
+	for name, h := range r.reg.hists {
+		ex.Histograms = append(ex.Histograms, exportPow2(name, h))
+	}
+	for name, h := range r.reg.slos {
+		he := HistogramExport{
+			Name:    name,
+			Count:   h.count.Load(),
+			Sum:     h.sum.Load(),
+			Bounds:  append([]int64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.buckets)),
+		}
+		for i := range h.buckets {
+			he.Buckets[i] = h.buckets[i].Load()
+		}
+		ex.Histograms = append(ex.Histograms, he)
+	}
+	sort.Slice(ex.Counters, func(a, b int) bool { return ex.Counters[a].Name < ex.Counters[b].Name })
+	sort.Slice(ex.Gauges, func(a, b int) bool { return ex.Gauges[a].Name < ex.Gauges[b].Name })
+	sort.Slice(ex.Histograms, func(a, b int) bool { return ex.Histograms[a].Name < ex.Histograms[b].Name })
+	return ex
+}
+
+// exportPow2 flattens a power-of-two histogram: bucket k holds values
+// with bits.Len64(v) == k, so its inclusive upper bound is 2^k - 1.
+func exportPow2(name string, h *Histogram) HistogramExport {
+	he := HistogramExport{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+	last := -1
+	counts := [histBuckets]int64{}
+	for k := 0; k < histBuckets; k++ {
+		counts[k] = h.buckets[k].Load()
+		if counts[k] > 0 {
+			last = k
+		}
+	}
+	for k := 0; k <= last; k++ {
+		var bound int64 = 0
+		if k > 0 {
+			bound = (int64(1) << k) - 1
+		}
+		he.Bounds = append(he.Bounds, bound)
+		he.Buckets = append(he.Buckets, counts[k])
+	}
+	// The implicit +Inf bucket: empty, every observation landed at or
+	// below the last used bound.
+	he.Buckets = append(he.Buckets, 0)
+	return he
+}

@@ -6,16 +6,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Flags is the shared CLI observability surface: every command binds
-// the same -trace/-chrome/-metrics/-pprof flags and drives them with
-// Start/finish, so observability behaves identically across tools.
+// the same -trace/-chrome/-metrics/-pprof/-progress flags and drives
+// them with Start/finish, so observability behaves identically across
+// tools.
 type Flags struct {
-	Trace   string // write a JSONL span trace to this file
-	Chrome  string // write a Chrome trace_event file to this file
-	Metrics bool   // dump the metric snapshot as JSON on exit
-	Pprof   string // serve net/http/pprof + expvar + /metrics on this address
+	Trace    string // write a JSONL span trace to this file
+	Chrome   string // write a Chrome trace_event file to this file
+	Metrics  bool   // dump the metric snapshot as JSON on exit
+	Pprof    string // serve net/http/pprof + expvar + /metrics on this address
+	Progress bool   // log live engine progress lines to stderr
 }
 
 // BindFlags registers the observability flags on fs.
@@ -25,12 +28,13 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Chrome, "chrome-trace", "", "write a Chrome trace_event file to `file` (load in chrome://tracing or Perfetto)")
 	fs.BoolVar(&f.Metrics, "metrics", false, "dump the metrics snapshot as JSON to stderr on exit")
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof, expvar and /metrics on `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&f.Progress, "progress", false, "log live engine progress (stage, fraction, incumbent/bound, ETA) to stderr")
 	return f
 }
 
 // Enabled reports whether any observability output was requested.
 func (f *Flags) Enabled() bool {
-	return f != nil && (f.Trace != "" || f.Chrome != "" || f.Metrics || f.Pprof != "")
+	return f != nil && (f.Trace != "" || f.Chrome != "" || f.Metrics || f.Pprof != "" || f.Progress)
 }
 
 // Start materialises the requested observability: returns the run to
@@ -62,6 +66,10 @@ func (f *Flags) Start(errw io.Writer) (*Run, func(), error) {
 		closers = append(closers, func() { _ = file.Close() })
 		run.DeferTrace(file)
 	}
+	var stopProgress func()
+	if f.Progress {
+		stopProgress = startProgressLog(run, errw)
+	}
 	var stopDebug func()
 	if f.Pprof != "" {
 		addr, stop, err := run.ServeDebug(f.Pprof)
@@ -73,6 +81,9 @@ func (f *Flags) Start(errw io.Writer) (*Run, func(), error) {
 	}
 
 	finish := func() {
+		if stopProgress != nil {
+			stopProgress()
+		}
 		if err := run.Flush(); err != nil {
 			fmt.Fprintf(errw, "obs: flush trace: %v\n", err)
 		}
@@ -103,4 +114,74 @@ func (f *Flags) Start(errw io.Writer) (*Run, func(), error) {
 		}
 	}
 	return run, finish, nil
+}
+
+// progressLogEvery is the sampling interval of the -progress logger —
+// human-paced, an order of magnitude slower than the probes' own
+// update granularity.
+const progressLogEvery = 200 * time.Millisecond
+
+// startProgressLog samples the run's progress probes and writes one
+// line to errw whenever something material changed (time-derived
+// fields alone do not trigger a line, so an idle engine stays quiet).
+// The returned stop func flushes a final snapshot and joins the
+// goroutine.
+func startProgressLog(run *Run, errw io.Writer) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(progressLogEvery)
+		defer tick.Stop()
+		var prev ProgressSnapshot
+		emit := func(final bool) {
+			snap := run.ProgressSnapshot()
+			if !snap.Changed(prev) && !final {
+				return
+			}
+			prev = snap
+			fmt.Fprintf(errw, "obs: progress %s\n", formatProgress(snap))
+		}
+		for {
+			select {
+			case <-tick.C:
+				emit(false)
+			case <-done:
+				emit(true)
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// formatProgress renders a snapshot as a compact single-line summary,
+// omitting fields the engine has not populated yet.
+func formatProgress(s ProgressSnapshot) string {
+	out := fmt.Sprintf("stage=%s", s.Stage)
+	if s.Stage == "" {
+		out = "stage=-"
+	}
+	if s.SelectionTotal > 0 {
+		out += fmt.Sprintf(" selection=%d/%d (%.1f%%)", s.SelectionIndex, s.SelectionTotal, s.Fraction*100)
+	}
+	if s.Incumbent > 0 || s.Bound > 0 {
+		out += fmt.Sprintf(" incumbent=%d bound=%d", s.Incumbent, s.Bound)
+	}
+	if s.Nodes > 0 {
+		out += fmt.Sprintf(" nodes=%d (%d/s)", s.Nodes, s.NodesPerSec)
+	}
+	if s.CoverageTotal > 0 {
+		out += fmt.Sprintf(" coverage=%d/%d", s.CoverageDetected, s.CoverageTotal)
+	}
+	if s.BestComplexity > 0 {
+		out += fmt.Sprintf(" best=%dn", s.BestComplexity)
+	}
+	if s.ETAMS > 0 {
+		out += fmt.Sprintf(" eta=%s", time.Duration(s.ETAMS)*time.Millisecond)
+	}
+	return out
 }

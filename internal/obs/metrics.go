@@ -40,6 +40,14 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add moves the gauge by d (negative to decrement) — the in-flight
+// counter idiom.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
 // Max raises the gauge to v when v exceeds the stored value.
 func (g *Gauge) Max(v int64) {
 	if g == nil {
@@ -110,6 +118,7 @@ type registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	slos     map[string]*SLOHistogram
 }
 
 // Counter returns the named counter, creating it on first use. Nil-safe:
@@ -213,6 +222,10 @@ func (r *Run) Snapshot() map[string]int64 {
 			out[name+".min"] = h.min.Load()
 			out[name+".max"] = h.max.Load()
 		}
+	}
+	for name, h := range r.reg.slos {
+		out[name+".count"] = h.count.Load()
+		out[name+".sum"] = h.sum.Load()
 	}
 	return out
 }

@@ -49,6 +49,11 @@ type Run struct {
 	rec recorder
 	reg registry
 
+	// progress is the run's live-progress cells (see progress.go):
+	// last-write-wins atomics the engine's long loops update in place
+	// and the serving layers snapshot on demand.
+	progress Progress
+
 	sink     sink
 	deferred deferredTrace
 

@@ -1,9 +1,11 @@
 // Package obstest validates and normalises JSONL span traces produced
 // by internal/obs. It is the schema checker behind the CI trace smoke
 // job (cmd tracecheck) and the golden-trace tests at the repository
-// root: Validate enforces the structural schema, RequireSpans checks
-// stage coverage, and Normalize strips the only nondeterministic
-// fields (timestamps) so two traces of the same run compare equal.
+// root: Validate enforces the structural schema, ValidateProgress the
+// progress-probe invariants (admissible bounds, monotone fractions),
+// RequireSpans checks stage coverage, and Normalize strips the only
+// nondeterministic fields (timestamps) so two traces of the same run
+// compare equal.
 package obstest
 
 import (
@@ -108,6 +110,62 @@ func validName(name string) error {
 		}
 	}
 	return nil
+}
+
+// ValidateProgress enforces the progress-probe invariants over a
+// parsed trace:
+//
+//   - any span carrying both a "bound" and an "incumbent" attribute
+//     has bound <= incumbent (the solver's lower bound is admissible);
+//   - "progress_ppm" attributes are in [0, 1_000_000] and monotone
+//     non-decreasing in Seq order among siblings (spans sharing a
+//     parent), which is how the selection sweep reports its fraction;
+//   - "detected" coverage counts are non-negative.
+//
+// Traces recorded without progress probes carry none of these
+// attributes and pass vacuously.
+func ValidateProgress(events []obs.Event) error {
+	sorted := make([]obs.Event, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Seq < sorted[b].Seq })
+	lastPPM := map[uint64]int64{}
+	for _, ev := range sorted {
+		bound, okB := intAttr(ev, "bound")
+		inc, okI := intAttr(ev, "incumbent")
+		if okB && okI && bound > inc {
+			return fmt.Errorf("span %q (seq %d): bound %d exceeds incumbent %d", ev.Name, ev.Seq, bound, inc)
+		}
+		if ppm, ok := intAttr(ev, "progress_ppm"); ok {
+			if ppm < 0 || ppm > 1_000_000 {
+				return fmt.Errorf("span %q (seq %d): progress_ppm %d outside [0, 1000000]", ev.Name, ev.Seq, ppm)
+			}
+			if prev, seen := lastPPM[ev.Parent]; seen && ppm < prev {
+				return fmt.Errorf("span %q (seq %d): progress_ppm %d regressed below %d", ev.Name, ev.Seq, ppm, prev)
+			}
+			lastPPM[ev.Parent] = ppm
+		}
+		if det, ok := intAttr(ev, "detected"); ok && det < 0 {
+			return fmt.Errorf("span %q (seq %d): negative detected count %d", ev.Name, ev.Seq, det)
+		}
+	}
+	return nil
+}
+
+// intAttr reads an integer span attribute, tolerating the float64 that
+// encoding/json produces for numbers on the decode path.
+func intAttr(ev obs.Event, key string) (int64, bool) {
+	v, ok := ev.Attrs[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case float64:
+		return int64(n), true
+	default:
+		return 0, false
+	}
 }
 
 // RequireSpans checks that every name in want occurs at least once in

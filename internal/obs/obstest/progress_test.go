@@ -1,0 +1,82 @@
+package obstest
+
+import (
+	"strings"
+	"testing"
+
+	"marchgen/internal/obs"
+)
+
+func progEvents() []obs.Event {
+	return []obs.Event{
+		{Name: "generate", Seq: 1},
+		{Name: "generate/select", Seq: 2, Parent: 1, Attrs: map[string]any{"progress_ppm": float64(0)}},
+		{Name: "atsp/branchbound", Seq: 3, Parent: 2, Attrs: map[string]any{"bound": float64(8), "incumbent": float64(10)}},
+		{Name: "generate/select", Seq: 4, Parent: 1, Attrs: map[string]any{"progress_ppm": float64(500_000)}},
+		{Name: "sim/evaluate", Seq: 5, Parent: 1, Attrs: map[string]any{"detected": float64(24)}},
+		{Name: "generate/select", Seq: 6, Parent: 1, Attrs: map[string]any{"progress_ppm": float64(1_000_000)}},
+	}
+}
+
+func TestValidateProgressAccepts(t *testing.T) {
+	if err := ValidateProgress(progEvents()); err != nil {
+		t.Fatalf("valid progress trace rejected: %v", err)
+	}
+	// Probe-free traces pass vacuously.
+	if err := ValidateProgress([]obs.Event{{Name: "generate", Seq: 1}}); err != nil {
+		t.Fatalf("probe-free trace rejected: %v", err)
+	}
+}
+
+func TestValidateProgressRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]obs.Event)
+		want   string
+	}{
+		{
+			name:   "inadmissible bound",
+			mutate: func(evs []obs.Event) { evs[2].Attrs["bound"] = float64(11) },
+			want:   "exceeds incumbent",
+		},
+		{
+			name:   "regressed fraction",
+			mutate: func(evs []obs.Event) { evs[5].Attrs["progress_ppm"] = float64(400_000) },
+			want:   "regressed",
+		},
+		{
+			name:   "fraction out of range",
+			mutate: func(evs []obs.Event) { evs[5].Attrs["progress_ppm"] = float64(1_000_001) },
+			want:   "outside",
+		},
+		{
+			name:   "negative detected",
+			mutate: func(evs []obs.Event) { evs[4].Attrs["detected"] = float64(-1) },
+			want:   "negative detected",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := progEvents()
+			tc.mutate(evs)
+			err := ValidateProgress(evs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateProgressSiblingScope(t *testing.T) {
+	// progress_ppm monotonicity is scoped per parent: two sweeps under
+	// different parents may each restart from zero.
+	evs := []obs.Event{
+		{Name: "generate", Seq: 1},
+		{Name: "generate/select", Seq: 2, Parent: 1, Attrs: map[string]any{"progress_ppm": float64(900_000)}},
+		{Name: "generate", Seq: 3},
+		{Name: "generate/select", Seq: 4, Parent: 3, Attrs: map[string]any{"progress_ppm": float64(0)}},
+	}
+	if err := ValidateProgress(evs); err != nil {
+		t.Fatalf("per-parent restart rejected: %v", err)
+	}
+}

@@ -48,6 +48,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tracecheck: invalid:", err)
 		return 1
 	}
+	if err := obstest.ValidateProgress(events); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck: progress:", err)
+		return 1
+	}
 	if *require != "" {
 		var want []string
 		for _, name := range strings.Split(*require, ",") {

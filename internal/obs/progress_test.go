@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var nilRun *Run
+	p := nilRun.Progress()
+	if p != nil {
+		t.Fatal("nil run must yield a nil progress handle")
+	}
+	// Every method is a no-op on nil.
+	p.Stage("generate/select")
+	p.Selection(1, 2)
+	p.Search(10, 8)
+	p.Coverage(3, 24)
+	p.AddNodes(5)
+	p.Candidates(1)
+	p.Best(10)
+	if snap := nilRun.ProgressSnapshot(); snap != (ProgressSnapshot{}) {
+		t.Fatalf("nil run snapshot = %+v, want zero", snap)
+	}
+}
+
+func TestProgressSelectionMonotone(t *testing.T) {
+	run := NewRun()
+	p := run.Progress()
+	p.Selection(5, 10)
+	p.Selection(3, 10) // stale writer: must not regress
+	snap := run.ProgressSnapshot()
+	if snap.SelectionIndex != 5 || snap.SelectionTotal != 10 {
+		t.Fatalf("selection = %d/%d, want 5/10", snap.SelectionIndex, snap.SelectionTotal)
+	}
+	if snap.Fraction != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", snap.Fraction)
+	}
+	// Concurrent writers: the max index must win.
+	var wg sync.WaitGroup
+	for i := int64(0); i <= 10; i++ {
+		wg.Add(1)
+		go func(i int64) { defer wg.Done(); p.Selection(i, 10) }(i)
+	}
+	wg.Wait()
+	if snap = run.ProgressSnapshot(); snap.SelectionIndex != 10 {
+		t.Fatalf("after concurrent writes index = %d, want 10", snap.SelectionIndex)
+	}
+	if snap.Fraction != 1 {
+		t.Fatalf("fraction = %v, want 1", snap.Fraction)
+	}
+}
+
+func TestProgressSearchPair(t *testing.T) {
+	run := NewRun()
+	p := run.Progress()
+
+	snap := run.ProgressSnapshot()
+	if snap.Incumbent != 0 || snap.Bound != 0 {
+		t.Fatalf("pristine search = %d/%d, want absent", snap.Incumbent, snap.Bound)
+	}
+
+	p.Search(-1, 8) // root relaxation before any tour
+	snap = run.ProgressSnapshot()
+	if snap.Incumbent != 0 || snap.Bound != 8 {
+		t.Fatalf("bound-only search = %d/%d, want 0/8", snap.Incumbent, snap.Bound)
+	}
+
+	p.Search(10, 8)
+	snap = run.ProgressSnapshot()
+	if snap.Incumbent != 10 || snap.Bound != 8 {
+		t.Fatalf("search = %d/%d, want 10/8", snap.Incumbent, snap.Bound)
+	}
+
+	// Zero is a legal cost and distinct from absent.
+	p.Search(0, 0)
+	snap = run.ProgressSnapshot()
+	if snap.Incumbent != 0 || snap.Bound != 0 {
+		t.Fatalf("zero-cost search = %d/%d, want 0/0", snap.Incumbent, snap.Bound)
+	}
+}
+
+func TestProgressCoverageAndCounters(t *testing.T) {
+	run := NewRun()
+	p := run.Progress()
+	p.Coverage(3, 24)
+	p.AddNodes(100)
+	p.AddNodes(24)
+	p.Candidates(2)
+	snap := run.ProgressSnapshot()
+	if snap.CoverageDetected != 3 || snap.CoverageTotal != 24 {
+		t.Fatalf("coverage = %d/%d, want 3/24", snap.CoverageDetected, snap.CoverageTotal)
+	}
+	if snap.CoverageFraction != 0.125 {
+		t.Fatalf("coverage fraction = %v, want 0.125", snap.CoverageFraction)
+	}
+	if snap.Nodes != 124 {
+		t.Fatalf("nodes = %d, want 124", snap.Nodes)
+	}
+	if snap.Candidates != 2 {
+		t.Fatalf("candidates = %d, want 2", snap.Candidates)
+	}
+	// Coverage is last-write-wins: a fresh candidate resets it.
+	p.Coverage(1, 24)
+	if snap = run.ProgressSnapshot(); snap.CoverageDetected != 1 {
+		t.Fatalf("coverage detected = %d, want 1", snap.CoverageDetected)
+	}
+}
+
+func TestProgressBestWatermark(t *testing.T) {
+	run := NewRun()
+	p := run.Progress()
+	p.Best(10)
+	p.Best(12) // worse: ignored
+	p.Best(0)  // sentinel: ignored
+	if snap := run.ProgressSnapshot(); snap.BestComplexity != 10 {
+		t.Fatalf("best = %d, want 10", snap.BestComplexity)
+	}
+	p.Best(8)
+	if snap := run.ProgressSnapshot(); snap.BestComplexity != 8 {
+		t.Fatalf("best = %d, want 8", snap.BestComplexity)
+	}
+}
+
+func TestProgressStage(t *testing.T) {
+	run := NewRun()
+	stages := NewStages(run, run.Start("generate"), "generate/")
+	sp := stages.Enter("select")
+	if snap := run.ProgressSnapshot(); snap.Stage != "generate/select" {
+		t.Fatalf("stage = %q, want generate/select", snap.Stage)
+	}
+	sp.End()
+}
+
+func TestProgressSnapshotChanged(t *testing.T) {
+	var a, b ProgressSnapshot
+	if a.Changed(b) {
+		t.Fatal("two zero snapshots must compare unchanged")
+	}
+	// Time-derived fields alone do not count as change.
+	b.ElapsedMS, b.ETAMS, b.NodesPerSec = 100, 50, 1000
+	if a.Changed(b) || b.Changed(a) {
+		t.Fatal("time-derived drift must not count as change")
+	}
+	b.Incumbent = 10
+	if !a.Changed(b) || !b.Changed(a) {
+		t.Fatal("incumbent movement must count as change")
+	}
+}
+
+func TestProgressSnapshotJSONOmitsAbsent(t *testing.T) {
+	raw, err := json.Marshal(ProgressSnapshot{Fraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"fraction":0}` {
+		t.Fatalf("zero snapshot JSON = %s, want only the fraction", raw)
+	}
+}
+
+func TestSLOHistogram(t *testing.T) {
+	run := NewRun()
+	h := run.SLOHistogram("latency_us", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var found bool
+	for _, he := range run.Export().Histograms {
+		if he.Name != "latency_us" {
+			continue
+		}
+		found = true
+		wantBounds := []int64{10, 100, 1000}
+		wantBuckets := []int64{2, 2, 0, 1} // <=10: 5,10; <=100: 11,100; <=1000: none; +Inf: 5000
+		for i, b := range wantBounds {
+			if he.Bounds[i] != b {
+				t.Fatalf("bounds = %v, want %v", he.Bounds, wantBounds)
+			}
+		}
+		for i, c := range wantBuckets {
+			if he.Buckets[i] != c {
+				t.Fatalf("buckets = %v, want %v", he.Buckets, wantBuckets)
+			}
+		}
+		if he.Sum != 5+10+11+100+5000 {
+			t.Fatalf("sum = %d", he.Sum)
+		}
+	}
+	if !found {
+		t.Fatal("SLO histogram missing from export")
+	}
+	// Nil-safety and snapshot flattening.
+	var nilH *SLOHistogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 {
+		t.Fatal("nil histogram count must be 0")
+	}
+	snap := run.Snapshot()
+	if snap["latency_us.count"] != 5 {
+		t.Fatalf("snapshot count = %d, want 5", snap["latency_us.count"])
+	}
+}
+
+func TestExportPow2Bounds(t *testing.T) {
+	run := NewRun()
+	h := run.Histogram("sizes")
+	h.Observe(0) // bucket 0, bound 0
+	h.Observe(1) // bits.Len64(1)=1, bound 1
+	h.Observe(5) // bits.Len64(5)=3, bound 7
+	ex := run.Export()
+	for _, he := range ex.Histograms {
+		if he.Name != "sizes" {
+			continue
+		}
+		wantBounds := []int64{0, 1, 3, 7}
+		wantBuckets := []int64{1, 1, 0, 1, 0} // final 0 is the implicit +Inf
+		if len(he.Bounds) != len(wantBounds) || len(he.Buckets) != len(wantBuckets) {
+			t.Fatalf("bounds %v buckets %v, want %v / %v", he.Bounds, he.Buckets, wantBounds, wantBuckets)
+		}
+		for i := range wantBounds {
+			if he.Bounds[i] != wantBounds[i] {
+				t.Fatalf("bounds = %v, want %v", he.Bounds, wantBounds)
+			}
+		}
+		for i := range wantBuckets {
+			if he.Buckets[i] != wantBuckets[i] {
+				t.Fatalf("buckets = %v, want %v", he.Buckets, wantBuckets)
+			}
+		}
+		return
+	}
+	t.Fatal("pow2 histogram missing from export")
+}
+
+func TestExportSortedAndTyped(t *testing.T) {
+	run := NewRun()
+	run.Counter("b.count").Inc()
+	run.Counter("a.count").Inc()
+	run.Gauge("z.gauge").Set(3)
+	ex := run.Export()
+	for i := 1; i < len(ex.Counters); i++ {
+		if ex.Counters[i-1].Name > ex.Counters[i].Name {
+			t.Fatalf("counters not sorted: %v", ex.Counters)
+		}
+	}
+	if len(ex.Gauges) != 1 || ex.Gauges[0].Value != 3 {
+		t.Fatalf("gauges = %v", ex.Gauges)
+	}
+	// obs.spans bookkeeping rides along as counters.
+	var sawSpans bool
+	for _, c := range ex.Counters {
+		if c.Name == "obs.spans" {
+			sawSpans = true
+		}
+	}
+	if !sawSpans {
+		t.Fatal("export missing obs.spans")
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	run := NewRun()
+	g := run.Gauge("inflight")
+	g.Add(1)
+	g.Add(1)
+	g.Add(-1)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	var nilG *Gauge
+	nilG.Add(1) // no panic
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// SLOLatencyBounds are the default request-latency bucket upper bounds
+// in microseconds, 1 ms to 10 s — the boundaries the serving tier's
+// latency objectives are stated against (a p99 < 25 ms objective is
+// readable straight off the 25 000 µs bucket). Callers may pass their
+// own ascending bounds to Run.SLOHistogram instead.
+var SLOLatencyBounds = []int64{
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// SLOHistogram is a fixed-bound latency histogram: explicit, inclusive
+// bucket upper bounds (unlike Histogram's power-of-two buckets) so the
+// exposition matches stated SLO boundaries exactly. Observations are a
+// binary search plus two atomic adds — no locks, no allocation. All
+// methods are nil-safe no-ops.
+type SLOHistogram struct {
+	bounds  []int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets []atomic.Int64 // len(bounds)+1; the last bucket is +Inf
+}
+
+// Observe records one value.
+func (h *SLOHistogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := sort.Search(len(h.bounds), func(k int) bool { return v <= h.bounds[k] })
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *SLOHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SLOHistogram returns the named fixed-bound histogram, creating it on
+// first use with the given ascending inclusive upper bounds (later
+// calls reuse the first creation's bounds). Nil-safe: a nil run yields
+// a nil (no-op) handle.
+func (r *Run) SLOHistogram(name string, bounds []int64) *SLOHistogram {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.RLock()
+	h := r.reg.slos[name]
+	r.reg.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	if r.reg.slos == nil {
+		r.reg.slos = map[string]*SLOHistogram{}
+	}
+	if h = r.reg.slos[name]; h == nil {
+		h = &SLOHistogram{
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.reg.slos[name] = h
+	}
+	return h
+}

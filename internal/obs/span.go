@@ -23,13 +23,13 @@ const maxSpans = 1 << 16
 // events in creation order (exact program order for a single-worker
 // run); Parent is the Seq of the enclosing span, 0 for a root span.
 type Event struct {
-	Name    string         `json:"name"`
-	Seq     uint64         `json:"seq"`
-	Parent  uint64         `json:"parent,omitempty"`
-	Worker  int            `json:"worker,omitempty"`
-	StartUS int64          `json:"start_us"`
-	DurUS   int64          `json:"dur_us"`
-	Attrs   map[string]any `json:"attrs,omitempty"`
+	Name    string         `json:"name"`             // slash-separated span name ("generate/atsp")
+	Seq     uint64         `json:"seq"`              // creation order, unique within the run
+	Parent  uint64         `json:"parent,omitempty"` // Seq of the enclosing span, 0 for roots
+	Worker  int            `json:"worker,omitempty"` // worker index for fanned-out spans
+	StartUS int64          `json:"start_us"`         // start offset from the run epoch, µs
+	DurUS   int64          `json:"dur_us"`           // span duration, µs
+	Attrs   map[string]any `json:"attrs,omitempty"`  // int64/string attributes set via SetInt/SetStr
 }
 
 type recorder struct {

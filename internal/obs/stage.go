@@ -64,13 +64,15 @@ func (s *Stages) Enter(name string) *Span {
 	s.closeCurrentLocked(now)
 	s.cur = name
 	s.t0 = now
+	full := s.prefix + name
 	if s.parent != nil {
-		s.curSpan = s.parent.Child(s.prefix + name)
+		s.curSpan = s.parent.Child(full)
 	} else {
-		s.curSpan = s.run.Start(s.prefix + name)
+		s.curSpan = s.run.Start(full)
 	}
 	if s.run != nil {
 		s.run.phase.Store(s.curSpan)
+		s.run.Progress().Stage(full)
 	}
 	return s.curSpan
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"marchgen"
@@ -42,6 +43,9 @@ type JobStatusResponse struct {
 	CreatedAt   time.Time       `json:"created_at"`
 	UpdatedAt   time.Time       `json:"updated_at"`
 	Result      json.RawMessage `json:"result,omitempty"`
+	// Progress is the latest engine progress snapshot, present only
+	// while the job is running in this process.
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // JobGenerateResult is the canonical durable result document of a
@@ -135,7 +139,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobGet serves GET /v1/jobs/{id}: the durable record, with the
-// result document embedded once the job is done. Works during drain.
+// result document embedded once the job is done and the live progress
+// snapshot while the job is still running here. Works during drain.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if s.jobsDisabled(w, r) {
 		return
@@ -145,7 +150,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusNotFound, "job_not_found", fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.jobBody(j.Snapshot(), true))
+	body := s.jobBody(j.Snapshot(), true)
+	if snap, ok := j.Progress(); ok {
+		body.Progress = &snap
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleJobEvents serves GET /v1/jobs/{id}/events as Server-Sent Events:
@@ -153,7 +162,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 // reconnecting clients see a coherent sequence), then live progress and
 // state events stream until the job ends, closing with one "summary"
 // frame carrying the final record. A finished job streams its history
-// and the summary immediately.
+// and the summary immediately. A reconnecting client that presents the
+// standard Last-Event-ID header skips the replayed events it already
+// consumed — the live channel is registered under the same lock that
+// copies the ring, so the resumed sequence has no duplicates or gaps
+// (within the ring's retention).
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	if s.jobsDisabled(w, r) {
 		return
@@ -177,6 +190,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// Reconnect hint for EventSource clients, matching the shed hint.
 	fmt.Fprintf(w, "retry: %d\n\n", s.cfg.RetryAfter.Milliseconds())
 
+	lastID := -1
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			lastID = n
+		}
+	}
 	past, ch, cancel := j.Subscribe()
 	defer cancel()
 	send := func(ev jobs.Event) {
@@ -187,6 +206,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
 	}
 	for _, ev := range past {
+		if ev.Seq <= lastID {
+			continue
+		}
 		send(ev)
 	}
 	fl.Flush()

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"marchgen/internal/obs"
+)
+
+// promName mangles a dotted metric name into the Prometheus name
+// charset [a-zA-Z0-9_:], mapping every other rune to '_'
+// ("serve.generate.ok" → "serve_generate_ok").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeProm renders a typed metrics export (plus extra point-in-time
+// gauges) in the Prometheus text exposition format, version 0.0.4:
+// one # TYPE line per family, histograms as cumulative _bucket series
+// with le labels plus _sum and _count. Families are emitted in sorted
+// name order, so two scrapes of the same state are byte-identical.
+func writeProm(w io.Writer, ex obs.Export, extraGauges map[string]int64) {
+	for _, c := range ex.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	gauges := append([]obs.MetricPoint(nil), ex.Gauges...)
+	for name, v := range extraGauges {
+		gauges = append(gauges, obs.MetricPoint{Name: name, Value: v})
+	}
+	sort.Slice(gauges, func(a, b int) bool { return gauges[a].Name < gauges[b].Name })
+	for _, g := range gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range ex.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, bound, cum)
+		}
+		// Total from the buckets themselves, not the Count field: the
+		// cells are read at slightly different instants under concurrent
+		// observation, and the bucket sum keeps the series monotone.
+		total := cum + h.Buckets[len(h.Bounds)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, total)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, total)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"marchgen/internal/jobs"
 	"marchgen/internal/memo"
 	"marchgen/internal/obs"
+	"marchgen/internal/simd"
 	"marchgen/internal/store"
 )
 
@@ -212,19 +214,44 @@ func (s *Server) RecoveredJobs() int { return s.recovered }
 // aggregated engine metrics, admission counters.
 func (s *Server) Run() *obs.Run { return s.run }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Every API endpoint is
+// wrapped in the latency/in-flight instrumentation (instrument); the
+// health and metrics probes are left bare so scrapes do not pollute
+// the request series.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
-	mux.HandleFunc("POST /v1/verify", s.handleVerify)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/generate", s.instrument("generate", s.handleGenerate))
+	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("jobs_events", s.handleJobEvents))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// instrument wraps an endpoint handler with the per-endpoint
+// observability surface: an SLO-bucket latency histogram
+// (serve.http.<endpoint>.latency_us), a live in-flight gauge and a
+// request counter. The handles are resolved once at route-build time,
+// so the per-request cost is two atomic adds and one histogram
+// observation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	latency := s.run.SLOHistogram("serve.http."+endpoint+".latency_us", obs.SLOLatencyBounds)
+	inflight := s.run.Gauge("serve.http." + endpoint + ".inflight")
+	requests := s.run.Counter("serve.http." + endpoint + ".requests")
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		t0 := time.Now()
+		defer func() {
+			inflight.Add(-1)
+			latency.Observe(time.Since(t0).Microseconds())
+		}()
+		h(w, r)
+	}
 }
 
 // BeginDrain stops admitting work: /readyz flips to 503 and every new
@@ -349,22 +376,41 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
-// handleMetrics exposes the server run's flattened metric snapshot plus
-// live admission gauges and the process-wide memo-cache counters, as one
-// flat JSON object (the same int64 naming scheme as Stats.Metrics).
+// handleMetrics exposes the server run's metrics, content-negotiated:
+// the default is the flat JSON snapshot (the same int64 naming scheme
+// as Stats.Metrics), while an Accept header asking for text/plain or
+// OpenMetrics — what a Prometheus scraper sends — selects the
+// Prometheus text exposition with full histogram buckets. Both views
+// add the live admission gauges, the process-wide memo-cache counters
+// and the kernel throughput telemetry.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.run.Snapshot()
-	snap["serve.active.now"] = s.active.Load()
-	snap["serve.uptime_us"] = time.Since(s.start).Microseconds()
+	extra := map[string]int64{
+		"serve.active.now": s.active.Load(),
+		"serve.uptime_us":  time.Since(s.start).Microseconds(),
+	}
 	if s.draining.Load() {
-		snap["serve.draining"] = 1
+		extra["serve.draining"] = 1
 	}
 	ci := marchgen.CacheSnapshot()
-	snap["memo.shared.hits"] = int64(ci.Hits)
-	snap["memo.shared.misses"] = int64(ci.Misses)
-	snap["memo.shared.evictions"] = int64(ci.Evictions)
-	snap["memo.shared.disk_hits"] = int64(ci.DiskHits)
-	snap["memo.shared.entries"] = int64(ci.Entries)
+	extra["memo.shared.hits"] = int64(ci.Hits)
+	extra["memo.shared.misses"] = int64(ci.Misses)
+	extra["memo.shared.evictions"] = int64(ci.Evictions)
+	extra["memo.shared.disk_hits"] = int64(ci.DiskHits)
+	extra["memo.shared.entries"] = int64(ci.Entries)
+	kt := simd.ReadTelemetry()
+	extra["simd.lane_steps"] = int64(kt.LaneSteps)
+	extra["simd.trace_runs"] = int64(kt.TraceRuns)
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writeProm(w, s.run.Export(), extra)
+		return
+	}
+	snap := s.run.Snapshot()
+	for name, v := range extra {
+		snap[name] = v
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -51,6 +51,17 @@ func (c Coverage) Clone() Coverage {
 	return out
 }
 
+// Detected counts the instances the test detects.
+func (c Coverage) Detected() int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Detected {
+			n++
+		}
+	}
+	return n
+}
+
 // Complete reports whether every instance is detected.
 func (c Coverage) Complete() bool {
 	for _, r := range c.Results {
@@ -110,8 +121,9 @@ func EvaluateWorkers(ctx context.Context, t *march.Test, instances []fault.Insta
 // sim.scalar_fallbacks counter).
 func EvaluateEngine(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, engine Engine) (Coverage, error) {
 	run := obs.From(ctx)
+	var sp *obs.Span
 	if run != nil {
-		sp := run.StartUnder("sim/evaluate").SetInt("instances", int64(len(instances)))
+		sp = run.StartUnder("sim/evaluate").SetInt("instances", int64(len(instances)))
 		t0 := time.Now()
 		run.Counter("sim.evaluations").Inc()
 		run.Counter("sim.instances").Add(int64(len(instances)))
@@ -120,6 +132,21 @@ func EvaluateEngine(ctx context.Context, t *march.Test, instances []fault.Instan
 			sp.End()
 		}()
 	}
+	cov, err := evaluateDispatch(ctx, t, instances, workers, engine, run)
+	if err == nil && run != nil {
+		// Publish the evaluation as live coverage progress and stamp the
+		// detected count on the span: one count per evaluation, far off
+		// the per-word kernel path.
+		detected := int64(cov.Detected())
+		sp.SetInt("detected", detected)
+		run.Progress().Coverage(detected, int64(len(cov.Results)))
+	}
+	return cov, err
+}
+
+// evaluateDispatch picks the engine and runs the evaluation; split from
+// EvaluateEngine so the observation wrapper sees the Coverage it returns.
+func evaluateDispatch(ctx context.Context, t *march.Test, instances []fault.Instance, workers int, engine Engine, run *obs.Run) (Coverage, error) {
 	if err := SelfConsistent(t); err != nil {
 		return Coverage{}, err
 	}

@@ -98,6 +98,10 @@ func (b *Block) initPlanes() [NumStates]uint64 {
 // position is computed before the position's own state transition, like
 // the scalar engine's Mealy semantics.
 func (b *Block) RunTrace(inputs []uint8, expect []march.Bit, mism []uint64) {
+	// One telemetry add per trace, not per word: the whole trace's
+	// lane-step count lands in the process-wide counters up front.
+	laneSteps.Add(uint64(len(inputs)) * uint64(b.n) * LanesPerInstance)
+	traceRuns.Add(1)
 	planes := b.initPlanes()
 	var next [NumStates]uint64
 	for k, in := range inputs {

@@ -1,0 +1,80 @@
+package marchgen
+
+import (
+	"context"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/internal/core"
+	"marchgen/internal/obs"
+)
+
+// TestObsOverheadBudget is the probe-layer cost guard: a generation
+// with an observability run attached (spans, metrics and progress
+// probes all live) must stay within the documented overhead budget of
+// the probes-off baseline (ARCHITECTURE.md §7).
+//
+// The guard is opt-in via OBS_OVERHEAD_BUDGET_PCT (the CI obs-overhead
+// job sets 2) so the plain test suite stays timing-independent. The
+// workload trims SelectionLimit so each op is ~100ms and every
+// benchmark round averages several iterations; each configuration is
+// benchmarked in alternating rounds and compared by its minimum ns/op —
+// the minimum estimates the noise-free cost of each path, which is
+// what the budget is stated against.
+func TestObsOverheadBudget(t *testing.T) {
+	spec := os.Getenv("OBS_OVERHEAD_BUDGET_PCT")
+	if spec == "" {
+		t.Skip("set OBS_OVERHEAD_BUDGET_PCT to run the probe-overhead guard")
+	}
+	budget, err := strconv.ParseFloat(spec, 64)
+	if err != nil || budget <= 0 {
+		t.Fatalf("OBS_OVERHEAD_BUDGET_PCT=%q: want a positive percentage", spec)
+	}
+	models, err := fault.ParseList("SAF,TF,ADF,CFin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	// A smaller selection sweep keeps the per-op cost around 100ms so
+	// testing.Benchmark gets real iteration counts; the hot loops the
+	// probes instrument (expansion, ATSP search, fault simulation) all
+	// still run.
+	opts.SelectionLimit = 4
+	off := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Generate(models, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	on := func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			// A fresh run per generation, as the serving tier does per
+			// request; its construction cost is part of the budget.
+			if _, err := core.GenerateCtx(obs.Into(ctx, obs.NewRun()), models, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	const rounds = 5
+	minOff, minOn := int64(math.MaxInt64), int64(math.MaxInt64)
+	for r := 0; r < rounds; r++ {
+		if ns := testing.Benchmark(off).NsPerOp(); ns < minOff {
+			minOff = ns
+		}
+		if ns := testing.Benchmark(on).NsPerOp(); ns < minOn {
+			minOn = ns
+		}
+	}
+	over := (float64(minOn) - float64(minOff)) / float64(minOff) * 100
+	t.Logf("probes off: %d ns/op, probes on: %d ns/op, overhead %.2f%% (budget %.2f%%)",
+		minOff, minOn, over, budget)
+	if over > budget {
+		t.Fatalf("probes-enabled overhead %.2f%% exceeds the %.2f%% budget", over, budget)
+	}
+}
