@@ -160,8 +160,11 @@ func chaosMix() []chaosJob {
 // from "server slow".
 type serverProc struct {
 	bin, addr, dir, failpoints string
-	cmd                        *exec.Cmd
-	exited                     chan struct{}
+	// extraArgs appends further marchserve flags (the replica driver
+	// passes -peers/-solver here).
+	extraArgs []string
+	cmd       *exec.Cmd
+	exited    chan struct{}
 }
 
 // start launches the server (relaunching if an armed kill failpoint
@@ -170,7 +173,8 @@ func (p *serverProc) start() error {
 	deadline := time.Now().Add(20 * time.Second)
 	for {
 		if p.cmd == nil {
-			cmd := exec.Command(p.bin, "-addr", p.addr, "-store", p.dir)
+			args := append([]string{"-addr", p.addr, "-store", p.dir}, p.extraArgs...)
+			cmd := exec.Command(p.bin, args...)
 			cmd.Stderr = os.Stderr
 			cmd.Env = os.Environ()
 			if p.failpoints != "" {

@@ -22,6 +22,13 @@
 // are cache hits, and a restarted server re-adopts incomplete jobs and
 // resumes them from their last checkpoint.
 //
+// -peers A,B,C (each replica started with the same list and its own
+// -addr from it) forms a replica set: requests forward to the replica
+// owning their content key on a consistent-hash ring, memo entries warm
+// on any replica are fetched from peers, and exact warm-mode selection
+// sweeps (-solver warm) distribute across the set. See
+// docs/operations.md for the deployment recipe.
+//
 // SIGINT/SIGTERM drain gracefully: /readyz flips to 503, new requests are
 // shed, in-flight requests finish (bounded by -drain-timeout), running
 // jobs suspend with a durable checkpoint, then the listener closes and
@@ -42,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +73,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "default engine worker-pool size (0: GOMAXPROCS)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gathering window (0: default 500µs; negative: disable batching)")
 	storeDir := flag.String("store", "", "durable job store directory (enables the /v1/jobs API; empty: jobs disabled)")
+	solver := flag.String("solver", "", "default exact-sweep solver mode: enumerate, warm or joint (empty: enumerate)")
+	peers := flag.String("peers", "", "comma-separated replica addresses forming a replica set with this server (must include -addr)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +88,17 @@ func run() int {
 	w, err := budget.ParseWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marchserve:", err)
+		return budget.ExitUsage
+	}
+	switch *solver {
+	case "", marchgen.SolverEnumerate, marchgen.SolverWarm, marchgen.SolverJoint:
+	default:
+		fmt.Fprintf(os.Stderr, "marchserve: unknown -solver mode %q (want enumerate, warm or joint)\n", *solver)
+		return budget.ExitUsage
+	}
+	peerList := splitPeers(*peers)
+	if len(peerList) > 0 && !containsAddr(peerList, *addr) {
+		fmt.Fprintf(os.Stderr, "marchserve: -peers %q must include the listen address %q\n", *peers, *addr)
 		return budget.ExitUsage
 	}
 
@@ -115,9 +136,15 @@ func run() int {
 		BatchWindow:    *batchWindow,
 		Store:          st,
 		Obs:            orun,
+		Self:           *addr,
+		Peers:          peerList,
+		SolverMode:     *solver,
 	})
 	if st != nil {
 		fmt.Fprintf(os.Stderr, "marchserve: job store %s (%d incomplete jobs re-adopted)\n", *storeDir, srv.RecoveredJobs())
+	}
+	if len(peerList) > 1 {
+		fmt.Fprintf(os.Stderr, "marchserve: replica set of %d (self %s)\n", len(peerList), *addr)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -159,4 +186,25 @@ func effectiveInflight(n int) int {
 		return n
 	}
 	return serve.DefaultConfig().MaxInFlight
+}
+
+// splitPeers parses the -peers flag: a comma-separated address list,
+// blanks dropped.
+func splitPeers(spec string) []string {
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func containsAddr(peers []string, addr string) bool {
+	for _, p := range peers {
+		if p == addr {
+			return true
+		}
+	}
+	return false
 }

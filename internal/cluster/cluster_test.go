@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"marchgen/internal/obs"
+)
+
+// memTier is an in-memory memo.DiskTier for tests.
+type memTier struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemTier() *memTier { return &memTier{m: map[string][]byte{}} }
+
+func (t *memTier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, ok := t.m[key]
+	return data, ok
+}
+
+func (t *memTier) Put(key string, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key] = append([]byte(nil), data...)
+}
+
+// fakePeer is an httptest server speaking the internal memo protocol:
+// GET serves its entries, POST records offered entries.
+type fakePeer struct {
+	srv *httptest.Server
+
+	mu      sync.Mutex
+	entries map[string][]byte
+	posted  map[string][]byte
+	gets    int
+	postCh  chan string
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{
+		entries: map[string][]byte{},
+		posted:  map[string][]byte{},
+		postCh:  make(chan string, 16),
+	}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, MemoPathPrefix)
+		switch r.Method {
+		case http.MethodGet:
+			p.mu.Lock()
+			p.gets++
+			data, ok := p.entries[key]
+			p.mu.Unlock()
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			_, _ = w.Write(data)
+		case http.MethodPost:
+			data, _ := io.ReadAll(r.Body)
+			p.mu.Lock()
+			p.posted[key] = data
+			p.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+			select {
+			case p.postCh <- key:
+			default:
+			}
+		default:
+			http.Error(w, "bad method", http.StatusMethodNotAllowed)
+		}
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// addr returns the peer's host:port as it would appear in a peer list.
+func (p *fakePeer) addr() string { return strings.TrimPrefix(p.srv.URL, "http://") }
+
+// keyOwnedBy finds a key the ring routes to the wanted member.
+func keyOwnedBy(t *testing.T, r *Ring, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("owned-key-%d", i)
+		if r.Owner(key) == want {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %s in 10000 tries", want)
+	return ""
+}
+
+// TestFetchMemoPeerHitAndMiss locks the fetch contract: a key held by
+// any peer is returned with its exact bytes; a key held nowhere is a
+// clean miss, with the hit/miss counters telling them apart.
+func TestFetchMemoPeerHitAndMiss(t *testing.T) {
+	peer := newFakePeer(t)
+	run := obs.NewRun()
+	c := New(Config{Self: "127.0.0.1:1", Peers: []string{peer.addr()}, Obs: run})
+	defer c.Close()
+
+	peer.entries["warmkey"] = []byte("encoded-entry")
+	data, ok := c.FetchMemo("warmkey")
+	if !ok || string(data) != "encoded-entry" {
+		t.Fatalf("FetchMemo = %q, %v; want peer bytes", data, ok)
+	}
+	if _, ok := c.FetchMemo("coldkey"); ok {
+		t.Fatal("FetchMemo hit for a key no peer holds")
+	}
+	snap := run.Snapshot()
+	if snap["cluster.fetch.hits"] != 1 || snap["cluster.fetch.misses"] != 1 {
+		t.Fatalf("counters = hits %d misses %d, want 1/1", snap["cluster.fetch.hits"], snap["cluster.fetch.misses"])
+	}
+}
+
+// TestFetchMemoDeadPeer locks that an unreachable peer degrades to a
+// miss (with the error counted), never an error or a stall.
+func TestFetchMemoDeadPeer(t *testing.T) {
+	run := obs.NewRun()
+	c := New(Config{
+		Self:         "127.0.0.1:1",
+		Peers:        []string{"127.0.0.1:2"}, // nothing listens here
+		FetchTimeout: 200 * time.Millisecond,
+		Obs:          run,
+	})
+	defer c.Close()
+	if _, ok := c.FetchMemo("anything"); ok {
+		t.Fatal("FetchMemo hit against a dead peer")
+	}
+	snap := run.Snapshot()
+	if snap["cluster.fetch.errors"] == 0 || snap["cluster.fetch.misses"] != 1 {
+		t.Fatalf("counters = %v, want an error and a miss", snap)
+	}
+}
+
+// TestPeerTierAdoptsIntoLocal locks the adoption path the cold-replica
+// satellite rides on: a peer hit lands in the local tier, so the next
+// Get is served locally without touching the network.
+func TestPeerTierAdoptsIntoLocal(t *testing.T) {
+	peer := newFakePeer(t)
+	run := obs.NewRun()
+	c := New(Config{Self: "127.0.0.1:1", Peers: []string{peer.addr()}, Obs: run})
+	defer c.Close()
+	local := newMemTier()
+	tier := NewPeerTier(local, c)
+
+	peer.entries["adoptkey"] = []byte("peer-bytes")
+	data, ok := tier.Get("adoptkey")
+	if !ok || string(data) != "peer-bytes" {
+		t.Fatalf("Get = %q, %v; want peer bytes", data, ok)
+	}
+	if got, ok := local.Get("adoptkey"); !ok || string(got) != "peer-bytes" {
+		t.Fatal("peer hit was not adopted into the local tier")
+	}
+	if run.Snapshot()["cluster.adopted"] != 1 {
+		t.Fatalf("cluster.adopted = %d, want 1", run.Snapshot()["cluster.adopted"])
+	}
+
+	peer.mu.Lock()
+	getsBefore := peer.gets
+	peer.mu.Unlock()
+	if _, ok := tier.Get("adoptkey"); !ok {
+		t.Fatal("second Get missed after adoption")
+	}
+	peer.mu.Lock()
+	getsAfter := peer.gets
+	peer.mu.Unlock()
+	if getsAfter != getsBefore {
+		t.Fatalf("second Get hit the network (%d -> %d peer GETs), want local serve", getsBefore, getsAfter)
+	}
+}
+
+// TestOfferMemoReplicatesToOwner locks the placement rule: a Put of a
+// peer-owned key reaches that peer asynchronously, while a self-owned
+// key is never shipped anywhere.
+func TestOfferMemoReplicatesToOwner(t *testing.T) {
+	peer := newFakePeer(t)
+	run := obs.NewRun()
+	self := "127.0.0.1:1"
+	c := New(Config{Self: self, Peers: []string{peer.addr()}, Obs: run})
+	defer c.Close()
+	tier := NewPeerTier(newMemTier(), c)
+
+	ring := NewRing(self, []string{peer.addr()})
+	peerKey := keyOwnedBy(t, ring, peer.addr())
+	selfKey := keyOwnedBy(t, ring, self)
+
+	tier.Put(selfKey, []byte("stays-home"))
+	tier.Put(peerKey, []byte("ships-out"))
+
+	select {
+	case got := <-peer.postCh:
+		if got != peerKey {
+			t.Fatalf("peer received %q, want %q", got, peerKey)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replication POST never arrived at the owner")
+	}
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if string(peer.posted[peerKey]) != "ships-out" {
+		t.Fatalf("owner received %q, want original bytes", peer.posted[peerKey])
+	}
+	if _, ok := peer.posted[selfKey]; ok {
+		t.Fatal("self-owned key was replicated to a peer")
+	}
+}
+
+// TestFetchMemoSingleflight locks that concurrent fetches of one key
+// share a single round of peer requests.
+func TestFetchMemoSingleflight(t *testing.T) {
+	gate := make(chan struct{})
+	var gets int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gets++
+		mu.Unlock()
+		<-gate
+		_, _ = w.Write([]byte("shared"))
+	}))
+	defer srv.Close()
+
+	c := New(Config{
+		Self:         "127.0.0.1:1",
+		Peers:        []string{strings.TrimPrefix(srv.URL, "http://")},
+		FetchTimeout: 5 * time.Second,
+	})
+	defer c.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, ok := c.FetchMemo("hotkey")
+			if ok {
+				results[i] = string(data)
+			}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond) // let every caller join the in-flight call
+	close(gate)
+	wg.Wait()
+	for i, r := range results {
+		if r != "shared" {
+			t.Fatalf("caller %d got %q, want shared bytes", i, r)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gets != 1 {
+		t.Fatalf("%d peer GETs for one key, want 1 (singleflight)", gets)
+	}
+}

@@ -1,0 +1,128 @@
+// Package cluster is the replica-set tier of the HTTP service: a small,
+// stdlib-only toolkit that lets N marchserve processes behave as one
+// warm engine. It provides three pieces, layered bottom-up:
+//
+//   - Ring: a consistent-hash ring over the replica addresses. Every
+//     replica builds the identical ring from the identical -peers list,
+//     so any replica can answer "who owns this content-hash key?"
+//     without coordination — the routing substrate for forward-or-serve
+//     request handling and for memo-entry placement.
+//   - Cluster: the peer client. It fetches memo bytes from the ring
+//     owner (then the remaining peers) with per-key singleflight, and
+//     replicates locally-produced entries to their ring owner
+//     asynchronously and best-effort.
+//   - PeerTier: a memo.DiskTier that layers the peer fetch under an
+//     optional local durable tier, adopting peer-warm entries locally —
+//     the mechanism that makes "warm anywhere" mean "warm everywhere".
+//
+// Like the durable store underneath it, the peer tier is an
+// optimisation, never a correctness dependency: every fetch failure is
+// a cache miss, every replication failure is a dropped write, and a
+// replica that loses all its peers simply recomputes. Determinism is
+// preserved the same way as everywhere else in the module — cached
+// values are pure functions of their content-hash keys, so a peer hit
+// returns exactly the bytes a fresh computation would.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer is the number of virtual nodes each replica contributes
+// to the ring. 64 keeps the ownership split of a 2–8 replica set within
+// a few percent of even while the ring stays tiny (a few hundred
+// entries, binary-searched per lookup).
+const vnodesPerPeer = 64
+
+// vnode is one virtual point on the ring.
+type vnode struct {
+	hash uint64
+	addr string
+}
+
+// Ring is a consistent-hash ring over a replica set's addresses. It is
+// immutable after construction and safe for concurrent use. Two rings
+// built from the same address set — in any order, with any duplicates —
+// are identical, which is what lets every replica route independently
+// yet agree on ownership.
+type Ring struct {
+	self   string
+	peers  []string // sorted, deduplicated, includes self
+	vnodes []vnode  // sorted by hash
+}
+
+// hash64 maps a string onto the ring's key space. SHA-256 keeps the
+// placement independent of Go's randomized map/string hashing, so the
+// ring is stable across processes, restarts and architectures.
+func hash64(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// NewRing builds the ring for a replica set. self is this replica's own
+// advertised address; peers is the full set (self included or not —
+// it is added when missing). Addresses are deduplicated and sorted, so
+// every replica of the set builds the identical ring whatever order its
+// -peers flag listed them in.
+func NewRing(self string, peers []string) *Ring {
+	seen := map[string]bool{}
+	var all []string
+	for _, p := range append(append([]string(nil), peers...), self) {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		all = append(all, p)
+	}
+	sort.Strings(all)
+	r := &Ring{self: self, peers: all}
+	for _, addr := range all {
+		for i := 0; i < vnodesPerPeer; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(addr + "#" + strconv.Itoa(i)), addr: addr})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		return r.vnodes[a].addr < r.vnodes[b].addr
+	})
+	return r
+}
+
+// Self returns this replica's own address as passed to NewRing.
+func (r *Ring) Self() string { return r.self }
+
+// Members returns the full sorted replica address list (self included).
+// The returned slice is shared and must not be mutated.
+func (r *Ring) Members() []string { return r.peers }
+
+// Others returns every member except self, in sorted order.
+func (r *Ring) Others() []string {
+	var out []string
+	for _, p := range r.peers {
+		if p != r.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Owner returns the replica that owns key: the member whose first
+// virtual node at or after hash64(key) is reached walking clockwise
+// (wrapping past the top). Deterministic across replicas by ring
+// construction.
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return r.self
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(k int) bool { return r.vnodes[k].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].addr
+}

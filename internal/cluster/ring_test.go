@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingAgreesAcrossMembers locks the property routing correctness
+// rests on: every member, given the same peer list in any order, builds
+// the same ring and routes every key to the same owner.
+func TestRingAgreesAcrossMembers(t *testing.T) {
+	peers := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	perms := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0], peers[0]}, // dup collapses
+	}
+	rings := make([]*Ring, 0, len(peers)*len(perms))
+	for _, self := range peers {
+		for _, p := range perms {
+			rings = append(rings, NewRing(self, p))
+		}
+	}
+	for _, r := range rings {
+		if got := r.Members(); len(got) != 3 {
+			t.Fatalf("Members() = %v, want 3 sorted peers", got)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("Owner(%q) = %q on one ring, %q on another", key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingSelfAddedAndOthers locks that self always joins the member
+// set and Others excludes it.
+func TestRingSelfAddedAndOthers(t *testing.T) {
+	r := NewRing("c:1", []string{"a:1", "b:1"})
+	if got := r.Members(); len(got) != 3 {
+		t.Fatalf("Members() = %v, want self added", got)
+	}
+	for _, o := range r.Others() {
+		if o == "c:1" {
+			t.Fatalf("Others() includes self: %v", r.Others())
+		}
+	}
+	if len(r.Others()) != 2 {
+		t.Fatalf("Others() = %v, want 2", r.Others())
+	}
+}
+
+// TestRingSingleMember locks the degenerate ring: every key is owned by
+// the sole member.
+func TestRingSingleMember(t *testing.T) {
+	r := NewRing("only:1", nil)
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "only:1" {
+			t.Fatalf("Owner = %q, want only:1", got)
+		}
+	}
+}
+
+// TestRingBalance is the ring-imbalance regression guard: with 64
+// vnodes per peer, no member of a 3-replica set should own less than a
+// tenth of the keyspace.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"h1:1", "h2:1", "h3:1"}
+	r := NewRing(peers[0], peers)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("content-hash-%d", i))]++
+	}
+	for _, p := range peers {
+		if counts[p] < n/10 {
+			t.Fatalf("peer %s owns only %d/%d keys — ring imbalance (%v)", p, counts[p], n, counts)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import "marchgen/internal/memo"
+
+// PeerTier is a memo.DiskTier that layers the replica set's peer fetch
+// under an optional local durable tier. Gets try the local tier first,
+// then the peers; a peer hit is adopted into the local tier so the
+// entry is durable here from then on. Puts write through locally and
+// offer the bytes to the key's ring owner asynchronously — the
+// placement rule that makes any replica's warm entry reachable from
+// every replica in at most one hop once replication catches up (and via
+// the fan-out fallback even before it does).
+type PeerTier struct {
+	local memo.DiskTier // may be nil (memory-only replica)
+	c     *Cluster
+}
+
+// NewPeerTier layers the cluster's peer fetch under local, which may be
+// nil for a replica without a durable store.
+func NewPeerTier(local memo.DiskTier, c *Cluster) *PeerTier {
+	return &PeerTier{local: local, c: c}
+}
+
+// Get returns the encoded bytes under key from the local tier if
+// present, otherwise from the first peer that holds them (adopting the
+// bytes into the local tier on a peer hit).
+func (t *PeerTier) Get(key string) ([]byte, bool) {
+	if t.local != nil {
+		if data, ok := t.local.Get(key); ok {
+			return data, true
+		}
+	}
+	data, ok := t.c.FetchMemo(key)
+	if !ok {
+		return nil, false
+	}
+	t.c.run.Counter("cluster.adopted").Inc()
+	if t.local != nil {
+		t.local.Put(key, data)
+	}
+	return data, true
+}
+
+// Put writes the encoded bytes through to the local tier and offers
+// them to the key's ring owner for asynchronous replication.
+func (t *PeerTier) Put(key string, data []byte) {
+	if t.local != nil {
+		t.local.Put(key, data)
+	}
+	t.c.OfferMemo(key, data)
+}

@@ -76,6 +76,14 @@ type Options struct {
 	// GOMAXPROCS; negative is rejected as a usage error). Results are
 	// byte-identical at any worker count.
 	Workers int
+	// Distributor, when non-nil, is offered the §5 selection sweep for
+	// cross-process execution (see SweepDistributor in shard.go). The
+	// offer is made only where the distributed merge is provably
+	// byte-identical to the sequential sweep — exact solves in
+	// SolverWarm mode, unlimited budget, untruncated selection list —
+	// and any distribution failure falls back to the sequential sweep,
+	// so the field never changes what is computed, only where.
+	Distributor SweepDistributor
 	// Cache, when non-nil, memoises coverage matrices, solved tour
 	// fragments, completeness verdicts and whole results under
 	// content-addressed keys, so repeated runs over the same fault list
@@ -337,8 +345,37 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	// (-1: nothing solved exactly yet).
 	selCost := map[string]int{}
 	minSel := -1
+	// A distributor may take the whole sweep off this process where the
+	// shard merge is provably byte-identical (see shard.go); on success
+	// the sequential loop below is skipped by emptying its range. Any
+	// failure — a declined offer, an unreachable shard, no candidate —
+	// leaves sweep untouched and the ordinary loop runs.
+	sweep := selections
+	if d := opts.Distributor; d != nil && mode == SolverWarm && opts.Exact &&
+		opts.Budget.Unlimited() && !truncated && len(selections) > 1 {
+		stages.Enter("select")
+		merged, ok, derr := distributeSweep(ctx, d, models, opts, len(selections), gen, prog, run)
+		if derr != nil {
+			return nil, derr
+		}
+		if ok {
+			best = merged.best
+			bestNodes, bestCost = merged.bestNodes, merged.bestCost
+			res.Candidates = merged.candidates
+			prog.Candidates(int64(res.Candidates))
+			prog.Best(int64(best.Complexity()))
+			if merged.minSel >= 0 {
+				minSel = merged.minSel
+			}
+			run.Counter("core.sweep.distributed").Inc()
+			run.Counter("core.sweep.shards").Add(int64(merged.shards))
+			sweep = nil
+		} else {
+			run.Counter("core.sweep.local_fallback").Inc()
+		}
+	}
 search:
-	for idx, sel := range selections {
+	for idx, sel := range sweep {
 		// Each select span carries the sweep fraction in parts per
 		// million: successive spans of one run are monotone, an invariant
 		// tracecheck validates on recorded traces.
@@ -538,6 +575,17 @@ type cachedResult struct {
 }
 
 func (c *cachedResult) result(start time.Time, instances []fault.Instance) *Result {
+	cov := c.coverage.Clone()
+	// Rehydrate the per-row instances positionally: a result decoded from
+	// the persist layer travels with thin rows (verdict + detecting ops
+	// only), and the simulator emits rows in instance order, so row i is
+	// instance i. For memory-resident entries this overwrites each row
+	// with an identical value.
+	if len(cov.Results) == len(instances) {
+		for i := range cov.Results {
+			cov.Results[i].Instance = instances[i]
+		}
+	}
 	return &Result{
 		Test:             c.test.Clone(),
 		Complexity:       c.complexity,
@@ -552,7 +600,7 @@ func (c *cachedResult) result(start time.Time, instances []fault.Instance) *Resu
 		FromCache:        true,
 		StageElapsed:     map[string]time.Duration{},
 		Elapsed:          time.Since(start),
-		Coverage:         c.coverage.Clone(),
+		Coverage:         cov,
 	}
 }
 

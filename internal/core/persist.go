@@ -15,19 +15,27 @@
 //     warm-started solvers prime their incumbent from;
 //   - completeness verdicts: one simulator verdict per candidate March
 //     test, keyed by fault list and test signature.
+//   - whole results: the full cached Result of a completed unbudgeted
+//     run — test, statistics and a thin coverage report (per-instance
+//     verdicts by position; the instances themselves are re-expanded
+//     from the fault list at load time, which is what keeps the
+//     encoding small and the key the sole source of truth). This is
+//     the kind that makes a replica set's result warmth portable: a
+//     peer fetch of one entry answers a whole generate request with
+//     FromCache set and zero engine work.
 //
-// Coverage matrices and whole cached results stay memory-only: the
-// former rebuild quickly from the bit-parallel kernel, the latter are
-// superseded by the job result store. Because memo values are pure
-// functions of their content-hash keys, a resumed run that loads these
-// entries recomputes nothing it already finished and still produces
-// byte-identical output.
+// Coverage matrices stay memory-only: they rebuild quickly from the
+// bit-parallel kernel. Because memo values are pure functions of their
+// content-hash keys, a resumed run that loads these entries recomputes
+// nothing it already finished and still produces byte-identical output.
 package core
 
 import (
 	"encoding/json"
 
 	"marchgen/internal/memo"
+	"marchgen/internal/sim"
+	"marchgen/march"
 )
 
 // persist tags the on-disk encodings; a version byte first so a future
@@ -37,6 +45,7 @@ const (
 	persistKindTour    = "tour"
 	persistKindBool    = "verdict"
 	persistKindTPGCost = "tpgcost"
+	persistKindResult  = "result"
 )
 
 // persistEnvelope is the JSON wrapper around every persisted memo value.
@@ -56,6 +65,31 @@ type persistTour struct {
 type persistTPGCost struct {
 	Cost int   `json:"cost"`
 	Path []int `json:"path"`
+}
+
+// persistVerdict is one instance's thin coverage row: its verdict and
+// detecting operation indices, positional — row i belongs to instance i
+// of the fault list re-expanded at load time.
+type persistVerdict struct {
+	Detected bool  `json:"detected"`
+	Ops      []int `json:"ops,omitempty"`
+}
+
+// persistResult is the wire form of a cachedResult. Tests travel in
+// March notation (Parse/String round-trips are exact for generated,
+// unnamed tests); the coverage report travels as positional thin rows.
+type persistResult struct {
+	Test         string           `json:"test"`
+	Complexity   int              `json:"complexity"`
+	Classes      int              `json:"classes"`
+	Selections   int              `json:"selections"`
+	Nodes        int              `json:"nodes"`
+	PathCost     int              `json:"path_cost"`
+	MinSelCost   int              `json:"min_sel_cost"`
+	Candidates   int              `json:"candidates"`
+	UsedFallback bool             `json:"used_fallback,omitempty"`
+	CovTest      string           `json:"cov_test"`
+	Verdicts     []persistVerdict `json:"verdicts"`
 }
 
 // memoCodec implements memo.Codec over the engine's persistable values.
@@ -89,6 +123,31 @@ func (memoCodec) Encode(val any) ([]byte, bool) {
 			return nil, false
 		}
 		env.Kind, env.Data = persistKindBool, data
+	case *cachedResult:
+		if v.test == nil || v.coverage.Test == nil {
+			return nil, false
+		}
+		p := persistResult{
+			Test:         v.test.String(),
+			Complexity:   v.complexity,
+			Classes:      v.classes,
+			Selections:   v.selections,
+			Nodes:        v.nodes,
+			PathCost:     v.pathCost,
+			MinSelCost:   v.minSelCost,
+			Candidates:   v.candidates,
+			UsedFallback: v.usedFallback,
+			CovTest:      v.coverage.Test.String(),
+			Verdicts:     make([]persistVerdict, len(v.coverage.Results)),
+		}
+		for i, r := range v.coverage.Results {
+			p.Verdicts[i] = persistVerdict{Detected: r.Detected, Ops: r.DetectingOps}
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			return nil, false
+		}
+		env.Kind, env.Data = persistKindResult, data
 	default:
 		return nil, false
 	}
@@ -123,6 +182,37 @@ func (memoCodec) Decode(data []byte) (any, bool) {
 			return nil, false
 		}
 		return v, true
+	case persistKindResult:
+		var p persistResult
+		if json.Unmarshal(env.Data, &p) != nil || p.Test == "" || p.CovTest == "" {
+			return nil, false
+		}
+		test, err := march.Parse(p.Test)
+		if err != nil {
+			return nil, false
+		}
+		covTest, err := march.Parse(p.CovTest)
+		if err != nil {
+			return nil, false
+		}
+		cov := sim.Coverage{Test: covTest, Results: make([]sim.InstanceResult, len(p.Verdicts))}
+		for i, v := range p.Verdicts {
+			// The Instance field stays zero here: cachedResult.result
+			// rehydrates it positionally from the re-expanded fault list.
+			cov.Results[i] = sim.InstanceResult{Detected: v.Detected, DetectingOps: v.Ops}
+		}
+		return &cachedResult{
+			test:         test,
+			complexity:   p.Complexity,
+			classes:      p.Classes,
+			selections:   p.Selections,
+			nodes:        p.Nodes,
+			pathCost:     p.PathCost,
+			minSelCost:   p.MinSelCost,
+			candidates:   p.Candidates,
+			usedFallback: p.UsedFallback,
+			coverage:     cov,
+		}, true
 	default:
 		return nil, false
 	}

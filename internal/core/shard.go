@@ -1,0 +1,314 @@
+// Cross-process distribution of the §5 selection sweep.
+//
+// The division of labour is chosen so byte-identity with the sequential
+// sweep is structural, not probabilistic. A shard performs only the
+// expensive, selection-local work: reducing each selection's TPG,
+// solving its exact ATSP (with a shard-local warm chain) and assembling
+// the rewrite candidates. What it ships back is the ordered *candidate
+// stream* — per selection, the node signature, node count, exact visit
+// cost and every assembled candidate in March notation. The coordinator
+// then replays the sequential sweep's fold over the concatenated
+// streams in ascending selection order: global node-set deduplication,
+// candidate counting, the incumbent prune, simulator validation,
+// shrinking and the better() comparison all run in one place, on
+// exactly the sequence of candidates the sequential loop would have
+// seen.
+//
+// Two facts carry the byte-identity argument:
+//
+//   - the candidate stream is a pure function of the selection: the
+//     exact solver's strict-prune + lexLess offer rule makes its
+//     returned tour set warm/cold-invariant (see internal/atsp), so a
+//     shard's restarted warm chain changes solver effort, never the
+//     patterns — and assembly is deterministic in the patterns;
+//   - everything whose outcome depends on *global* sweep state — the
+//     incumbent prune (whose threshold tracks the best-so-far across
+//     all earlier selections) and the first-seen tie-break in better()
+//     — is not distributed at all; the coordinator replays it
+//     sequentially over the merged stream. An earlier version let each
+//     shard prune and validate against its own local incumbent; that
+//     validated a superset of the sequential candidates and could
+//     surface equal-complexity tests the sequential prune had dropped.
+//
+// Distribution is offered only where that argument holds wholesale:
+// exact solves, warm mode, unlimited budget, no selection truncation.
+// Everything else — and every distribution failure — runs the ordinary
+// sequential sweep. The distributor is infrastructure, never a
+// correctness dependency.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/budget"
+	"marchgen/internal/gts"
+	"marchgen/internal/obs"
+	"marchgen/internal/tpg"
+	"marchgen/march"
+)
+
+// SweepShard is one contiguous slice [Lo,Hi) of the §5 selection index
+// space.
+type SweepShard struct {
+	// Lo is the first selection index of the shard (inclusive).
+	Lo int `json:"lo"`
+	// Hi is the end of the shard (exclusive).
+	Hi int `json:"hi"`
+}
+
+// ShardSelection is one deduplicated selection's solved output within a
+// shard: the inputs the coordinator's replay needs, in selection order.
+type ShardSelection struct {
+	// Sig is the node-set signature (the sweep's deduplication key).
+	Sig string `json:"sig"`
+	// Nodes is the TPG node count after reduction.
+	Nodes int `json:"nodes"`
+	// Cost is the ATSP visit cost of the solved ordering; ExactCost
+	// reports whether it is the proven optimum (it feeds
+	// MinSelectionCost only when true).
+	Cost      int  `json:"cost"`
+	ExactCost bool `json:"exact_cost,omitempty"`
+	// Candidates is the assembled candidate stream for this selection in
+	// March notation, ordering-deduplicated, in assembly order.
+	Candidates []string `json:"candidates,omitempty"`
+}
+
+// ShardOutcome is one executed sweep shard's report: the candidate
+// streams of its selections, shard-locally deduplicated, in ascending
+// selection order.
+type ShardOutcome struct {
+	// Shard echoes the executed index range.
+	Shard SweepShard `json:"shard"`
+	// Selections holds one entry per first-seen node signature.
+	Selections []ShardSelection `json:"selections,omitempty"`
+}
+
+// SweepDistributor is the hook through which a serving layer offers the
+// selection sweep for cross-process execution. The coordinator calls
+// Shards once to partition the sweep, then RunShard once per shard
+// (concurrently); implementations run shards wherever they like — the
+// usual one ships each shard to a replica and falls back to calling
+// RunShardModels in-process when the replica is unreachable. Any error
+// from RunShard abandons distribution for the whole run and the
+// ordinary sequential sweep takes over.
+type SweepDistributor interface {
+	// Shards partitions [0,total) into ascending contiguous shards, or
+	// returns nil to decline (the sweep then runs sequentially).
+	Shards(total int) []SweepShard
+	// RunShard executes one shard of the sweep described by models and
+	// opts and returns its outcome.
+	RunShard(ctx context.Context, models []fault.Model, opts Options, sh SweepShard) (*ShardOutcome, error)
+}
+
+// RunShardModels executes one contiguous shard of the §5 selection
+// sweep in-process: reduce, exact-solve and assemble every first-seen
+// selection in [sh.Lo, sh.Hi), with a shard-local warm chain. No
+// validation, pruning or shrinking happens here — those depend on
+// global sweep state and run in the coordinator's replay. It is the
+// executor behind the replica set's internal sweep endpoint and the
+// local fallback for unreachable peers. The shard runs unbudgeted
+// (distribution is only offered to unbudgeted runs); ctx cancellation
+// still aborts it.
+func RunShardModels(ctx context.Context, models []fault.Model, opts Options, sh SweepShard) (_ *ShardOutcome, err error) {
+	if opts.SelectionLimit <= 0 {
+		opts.SelectionLimit = 64
+	}
+	workers, err := budget.ParseWorkers(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	run := opts.Obs
+	if run != nil {
+		ctx = obs.Into(ctx, run)
+	} else {
+		run = obs.From(ctx)
+	}
+	m := budget.NewMeter(ctx, budget.Budget{})
+	instances := fault.Instances(models)
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: empty fault list")
+	}
+	classes := tpg.Classes(instances)
+	if opts.DisableEquivalence {
+		classes = splitClasses(classes)
+	}
+	selections := tpg.Selections(classes, opts.SelectionLimit)
+	if sh.Lo < 0 || sh.Hi > len(selections) || sh.Lo >= sh.Hi {
+		return nil, fmt.Errorf("core: shard [%d,%d) outside the %d-selection sweep: %w", sh.Lo, sh.Hi, len(selections), budget.ErrUsage)
+	}
+	span := run.Start("shard")
+	span.SetInt("lo", int64(sh.Lo)).SetInt("hi", int64(sh.Hi))
+	defer span.End()
+
+	out := &ShardOutcome{Shard: sh}
+	var prevOrder []fsm.Pattern
+	seen := map[string]bool{}
+	noDegrade := func(string) {} // unbudgeted: the exact solvers cannot soft-exhaust
+	for idx := sh.Lo; idx < sh.Hi; idx++ {
+		if err := m.CheckNow(); err != nil {
+			return nil, err
+		}
+		nodes := tpg.Reduce(classes, selections[idx])
+		sig := nodeSignature(nodes)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		patterns, cost, exactCost, err := orderPatterns(m, nodes, orderConfig{
+			exact:    true,
+			workers:  workers,
+			preferBB: true,
+			warm:     prevOrder,
+		}, opts.Cache, noDegrade)
+		if err != nil {
+			if budget.IsHard(err) {
+				return nil, err
+			}
+			continue // soft solver failure: skip the selection, as the sequential sweep does
+		}
+		prevOrder = patterns[0]
+		sel := ShardSelection{Sig: sig, Nodes: len(nodes), Cost: cost, ExactCost: exactCost}
+		seenOrder := map[string]bool{}
+		for _, ordered := range patterns {
+			if osig := orderSignature(ordered); seenOrder[osig] {
+				continue
+			} else {
+				seenOrder[osig] = true
+			}
+			cands, err := gts.AssembleMeter(m, ordered, opts.Beam)
+			if err != nil {
+				if budget.IsHard(err) {
+					return nil, err
+				}
+				continue
+			}
+			for _, cand := range cands {
+				sel.Candidates = append(sel.Candidates, cand.String())
+			}
+		}
+		out.Selections = append(out.Selections, sel)
+	}
+	run.Counter("core.sweep.shards_run").Inc()
+	return out, nil
+}
+
+// mergedSweep is the coordinator-side replay of every shard's candidate
+// stream back into the sequential sweep's observable state.
+type mergedSweep struct {
+	best                *march.Test
+	bestNodes, bestCost int
+	candidates          int
+	minSel              int
+	shards              int
+}
+
+// distributeSweep offers the sweep to the distributor, then replays the
+// sequential fold over the merged candidate streams (see the package
+// comment). ok is false — and the caller runs the ordinary sequential
+// sweep — when the distributor declines, returns a malformed partition,
+// any shard fails, a candidate fails to parse, or no candidate
+// validated. A non-nil err is a hard engine error from the replay's
+// validation (context cancellation, simulator failure) and aborts the
+// whole run, exactly as it would mid-loop sequentially.
+func distributeSweep(ctx context.Context, d SweepDistributor, models []fault.Model, opts Options, total int, gen *genContext, prog *obs.Progress, run *obs.Run) (_ *mergedSweep, ok bool, err error) {
+	shards := d.Shards(total)
+	if len(shards) < 2 {
+		return nil, false, nil
+	}
+	want := 0
+	for _, sh := range shards {
+		if sh.Lo != want || sh.Hi <= sh.Lo {
+			run.Counter("core.sweep.bad_partition").Inc()
+			return nil, false, nil
+		}
+		want = sh.Hi
+	}
+	if want != total {
+		run.Counter("core.sweep.bad_partition").Inc()
+		return nil, false, nil
+	}
+	outs := make([]*ShardOutcome, len(shards))
+	errs := make([]error, len(shards))
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int
+	)
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = d.RunShard(ctx, models, opts, shards[i])
+			if errs[i] == nil {
+				// Aggregate live progress: the packed selection cell is
+				// monotone, so "selections finished so far" is a safe
+				// reading even while shards complete out of order.
+				mu.Lock()
+				completed += shards[i].Hi - shards[i].Lo
+				prog.Selection(int64(completed), int64(total))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range shards {
+		if errs[i] != nil || outs[i] == nil {
+			run.Counter("core.sweep.shard_errors").Inc()
+			return nil, false, nil
+		}
+	}
+
+	// The replay: the sequential loop body over the concatenated streams,
+	// in ascending selection order — global dedup, candidate count, the
+	// incumbent prune, validation, shrinking, better().
+	merged := &mergedSweep{minSel: -1, shards: len(shards)}
+	seenSig := map[string]bool{}
+	for _, out := range outs {
+		for _, sel := range out.Selections {
+			if seenSig[sel.Sig] {
+				continue
+			}
+			seenSig[sel.Sig] = true
+			if sel.ExactCost && (merged.minSel < 0 || sel.Cost < merged.minSel) {
+				merged.minSel = sel.Cost
+			}
+			for _, cs := range sel.Candidates {
+				merged.candidates++
+				cand, perr := march.Parse(cs)
+				if perr != nil {
+					run.Counter("core.sweep.shard_errors").Inc()
+					return nil, false, nil
+				}
+				if merged.best != nil && cand.Complexity() >= merged.best.Complexity()+2 {
+					continue // too long to beat the incumbent even after shrinking
+				}
+				valid := gen.complete(cand)
+				if gen.err != nil {
+					return nil, false, gen.err
+				}
+				if !valid {
+					continue
+				}
+				if !opts.DisableShrink {
+					cand = gen.shrink(cand)
+					if gen.err != nil {
+						return nil, false, gen.err
+					}
+				}
+				if better(cand, merged.best) {
+					merged.best = cand
+					merged.bestNodes, merged.bestCost = sel.Nodes, sel.Cost
+					prog.Best(int64(merged.best.Complexity()))
+				}
+			}
+		}
+	}
+	if merged.best == nil {
+		return nil, false, nil
+	}
+	return merged, true, nil
+}

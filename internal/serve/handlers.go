@@ -3,11 +3,14 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
 	"marchgen"
 	"marchgen/fault"
+	"marchgen/internal/cluster"
+	"marchgen/internal/core"
 	"marchgen/internal/memo"
 	"marchgen/internal/obs"
 )
@@ -36,8 +39,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// The body is read raw before decoding so a replica can relay it
+	// verbatim when the key's ring owner is another replica.
+	body, err := readBody(r)
+	if err != nil {
+		sp.SetStr("outcome", "bad_request")
+		writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
 	var req GenerateRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		sp.SetStr("outcome", "bad_request")
 		writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
 		return
@@ -60,6 +71,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	switch req.Solver {
+	case "", marchgen.SolverEnumerate, marchgen.SolverWarm, marchgen.SolverJoint:
+	default:
+		sp.SetStr("outcome", "usage")
+		writeError(w, r, http.StatusBadRequest, "usage",
+			fmt.Sprintf("unknown solver mode %q (want enumerate, warm or joint)", req.Solver))
+		return
+	}
 	timeout, err := s.resolveTimeout(req.TimeoutMS)
 	if err != nil {
 		sp.SetStr("outcome", "usage")
@@ -70,6 +89,22 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	instances := fault.Instances(models)
 	key := generateKey(fault.Key(instances), &req)
 	sp.SetStr("faults", req.Faults)
+
+	// Forward-or-serve: in a replica set, route the request to the key's
+	// ring owner so identical requests share one replica's coalescer and
+	// memo warmth. The forward header breaks relay loops; a transport
+	// failure falls through to serving locally.
+	if s.cluster != nil {
+		if owner := s.cluster.Owner(key); owner != s.cluster.Self() &&
+			r.Header.Get(cluster.ForwardHeader) == "" {
+			sp.SetStr("owner", owner)
+			if s.forwardGenerate(w, r, owner, id, body) {
+				sp.SetStr("outcome", "forwarded")
+				return
+			}
+		}
+		w.Header().Set(cluster.ServedByHeader, s.cluster.Self())
+	}
 
 	c, coalesced := s.group.join(key, func() (context.Context, context.CancelFunc) {
 		ctx, cancel := context.WithCancel(s.baseContext())
@@ -146,6 +181,13 @@ func (s *Server) executeGenerate(ctx context.Context, req *GenerateRequest) (*ma
 	if req.SelectionLimit > 0 {
 		opts = append(opts, marchgen.WithSelectionLimit(req.SelectionLimit))
 	}
+	mode := req.Solver
+	if mode == "" {
+		mode = s.cfg.SolverMode
+	}
+	if mode != "" {
+		opts = append(opts, marchgen.WithSolverMode(mode))
+	}
 	spec := req.Budget
 	if spec == "" {
 		spec = s.cfg.DefaultBudget
@@ -156,6 +198,11 @@ func (s *Server) executeGenerate(ctx context.Context, req *GenerateRequest) (*ma
 			return nil, err
 		}
 		opts = append(opts, marchgen.WithBudget(b))
+	}
+	if d := s.distributorFor(req, mode, spec); d != nil {
+		// marchgen.Option is a raw func over core.Options, so the
+		// distributor hook needs no public API surface.
+		opts = append(opts, marchgen.Option(func(o *core.Options) { o.Distributor = d }))
 	}
 	return marchgen.GenerateCtx(ctx, req.Faults, opts...)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +42,12 @@ type GenerateRequest struct {
 	// of failing; the downgrade is reported in the response. Empty: the
 	// server's configured default budget.
 	Budget string `json:"budget,omitempty"`
+	// Solver selects the exact-sweep solver mode: "enumerate", "warm" or
+	// "joint" (empty: the server's configured default, itself defaulting
+	// to "enumerate"). Modes only change effort — the generated test is
+	// byte-identical across all three, which is also why Solver does not
+	// participate in the coalescing key.
+	Solver string `json:"solver,omitempty"`
 	// TimeoutMS is the hard per-request deadline in milliseconds (0: the
 	// server default; capped at the server maximum). Past it the run is
 	// aborted with 504.
@@ -196,6 +203,28 @@ func writeErrorNoReq(w http.ResponseWriter, status int, code, msg string) {
 // client errors, bodies are size-bounded).
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// readBody drains a size-bounded request body; handlers that may
+// forward the request to a peer read raw bytes first and decode with
+// decodeBytes, so the body can be relayed verbatim.
+func readBody(r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("unreadable request body: %w", err)
+	}
+	return data, nil
+}
+
+// decodeBytes is decodeBody over already-read bytes, with the same
+// strictness.
+func decodeBytes(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)

@@ -25,7 +25,12 @@
 //     obs.Run, and /metrics, /healthz and /readyz expose the snapshot;
 //   - graceful drain: BeginDrain flips /readyz, sheds new work and lets
 //     the in-flight window finish (Drain waits for it), which is what
-//     cmd/marchserve wires to SIGTERM.
+//     cmd/marchserve wires to SIGTERM;
+//   - replica sets: with Config.Peers, N servers form a consistent-hash
+//     replica set — generate requests route to their key's ring owner,
+//     memo warmth anywhere becomes warmth everywhere through a
+//     peer-fetch tier, and eligible warm-mode sweeps distribute across
+//     the set (cluster.go, internal/cluster).
 //
 // The package is stdlib-only, like everything else in the module. See
 // docs/api.md for the wire schemas and cmd/marchserve for the binary.
@@ -44,6 +49,7 @@ import (
 	"time"
 
 	"marchgen"
+	"marchgen/internal/cluster"
 	"marchgen/internal/core"
 	"marchgen/internal/jobs"
 	"marchgen/internal/memo"
@@ -94,6 +100,23 @@ type Config struct {
 	// restarts), and New re-adopts any job a previous process left
 	// unfinished. Nil disables the job endpoints with 503 jobs_disabled.
 	Store *store.Store
+	// Self is this replica's own advertised host:port address, required
+	// when Peers is set (it anchors this replica's position on the
+	// consistent-hash ring and is echoed in X-March-Served-By).
+	Self string
+	// Peers lists every replica address in the set, Self included (it is
+	// added if missing). With at least one address besides Self, the
+	// server joins the replica set: /v1/generate requests forward to the
+	// ring owner of their key, the shared memo cache gains a peer-fetch
+	// tier (layered over the Store tier when both are set), and eligible
+	// selection sweeps distribute across the set. Empty: single-node
+	// mode, all cluster endpoints answer 503 cluster_disabled.
+	Peers []string
+	// SolverMode is the default exact-sweep solver mode applied to
+	// generate requests that do not carry their own "solver" field:
+	// "enumerate", "warm" or "joint". Empty: the engine default
+	// (enumerate). Distributed sweeps require warm mode.
+	SolverMode string
 }
 
 // DefaultConfig returns the production defaults described on Config.
@@ -122,6 +145,14 @@ type Server struct {
 	// sem holds the engine permits: at most MaxInFlight engine runs
 	// execute concurrently, whatever the admission window holds.
 	sem chan struct{}
+	// shardSem holds the permits for peer-submitted sweep shards — a
+	// pool deliberately disjoint from sem. A coordinator holds its own
+	// engine permit while waiting on remote shards; if shards competed
+	// for the same pool, two replicas coordinating concurrently would
+	// deadlock waiting on each other's held permits. Shard handlers
+	// never call back out to peers, so the disjoint pool keeps the
+	// cross-replica wait graph acyclic.
+	shardSem chan struct{}
 	// wg tracks admitted requests for Drain.
 	wg sync.WaitGroup
 
@@ -135,6 +166,13 @@ type Server struct {
 	store     *store.Store
 	jobs      *jobs.Manager
 	recovered int
+
+	// cluster/peerClient are the replica-set tier, nil without
+	// Config.Peers (see cluster.go). The peer client carries no client
+	// timeout: forwarded generates run as long as the owner allows, and
+	// every peer call is already bound by its request context.
+	cluster    *cluster.Cluster
+	peerClient *http.Client
 
 	// testLeaderGate, when non-nil, blocks every coalescing leader just
 	// before its engine run until the channel is closed — a test-only
@@ -171,10 +209,11 @@ func New(cfg Config) *Server {
 		cfg.Obs = obs.NewRun()
 	}
 	s := &Server{
-		cfg:   cfg,
-		run:   cfg.Obs,
-		start: time.Now(),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg:      cfg,
+		run:      cfg.Obs,
+		start:    time.Now(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		shardSem: make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.group = newGroup(s.run)
 	s.batcher = newBatcher(s, cfg.BatchWindow)
@@ -203,6 +242,8 @@ func New(cfg Config) *Server {
 			s.run.Counter("serve.jobs.recovered").Add(int64(n))
 		}
 	}
+	s.peerClient = &http.Client{}
+	s.initCluster()
 	return s
 }
 
@@ -226,6 +267,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("jobs_events", s.handleJobEvents))
+	mux.HandleFunc("GET "+cluster.MemoPathPrefix+"{key}", s.handleMemoGet)
+	mux.HandleFunc("POST "+cluster.MemoPathPrefix+"{key}", s.handleMemoPut)
+	mux.HandleFunc("POST "+cluster.SweepPath, s.instrument("sweep_shard", s.handleSweepShard))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -278,6 +322,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
 	}
 	if s.jobs != nil {
 		return s.jobs.Close(ctx)
@@ -390,6 +437,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		extra["serve.draining"] = 1
+	}
+	if s.cluster != nil {
+		extra["serve.cluster.peers"] = int64(len(s.cluster.Members()))
 	}
 	ci := marchgen.CacheSnapshot()
 	extra["memo.shared.hits"] = int64(ci.Hits)

@@ -1,0 +1,92 @@
+// Persistence hooks for the LUT cache: the codec that carries compiled
+// single-instance LUTs across processes, and the attachment points the
+// replica set (internal/cluster via internal/serve) uses to share them.
+// A Compiled value is a pure function of its content-addressed key
+// (fault.Key of the instance), so — exactly like the engine's tour
+// fragments — a peer-fetched LUT is byte-for-byte the table a local
+// compile would produce.
+package simd
+
+import (
+	"encoding/json"
+
+	"marchgen/internal/memo"
+	"marchgen/march"
+)
+
+// lutPersistVersion tags the on-disk LUT encoding.
+const lutPersistVersion = 1
+
+// persistLUT is the wire form of a Compiled: both dense tables, with
+// the ternary λ outputs carried as their march.Bit byte values.
+type persistLUT struct {
+	V    int                             `json:"v"`
+	Name string                          `json:"name,omitempty"`
+	Next [NumStates][NumInputs]uint8     `json:"next"`
+	Out  [NumStates][NumInputs]march.Bit `json:"out"`
+}
+
+// lutCodec implements memo.Codec for *Compiled values.
+type lutCodec struct{}
+
+// LUTCodec returns the memo.Codec covering compiled single-instance
+// LUTs, for attaching durable or peer tiers to the LUT cache.
+func LUTCodec() memo.Codec { return lutCodec{} }
+
+// Encode marshals a *Compiled into the versioned wire form; false for
+// any other value kind.
+func (lutCodec) Encode(val any) ([]byte, bool) {
+	c, ok := val.(*Compiled)
+	if !ok {
+		return nil, false
+	}
+	data, err := json.Marshal(persistLUT{V: lutPersistVersion, Name: c.Name, Next: c.Next, Out: c.Out})
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Decode rebuilds a *Compiled from its wire form; false for bytes that
+// are not a current-version LUT encoding.
+func (lutCodec) Decode(data []byte) (any, bool) {
+	var p persistLUT
+	if json.Unmarshal(data, &p) != nil || p.V != lutPersistVersion {
+		return nil, false
+	}
+	return &Compiled{Name: p.Name, Next: p.Next, Out: p.Out}, true
+}
+
+// AttachLUTTier installs a second tier (durable, peer, or both layered)
+// under the process-wide LUT cache; DetachLUTTier removes it. Compiled
+// blocks stay process-local either way — they rebuild in microseconds
+// from the shared LUTs.
+func AttachLUTTier(t memo.DiskTier) { lutCache.AttachDisk(t, lutCodec{}) }
+
+// DetachLUTTier removes the LUT cache's second tier (tests, shutdown).
+func DetachLUTTier() { lutCache.DetachDisk() }
+
+// PeekEncoded returns the encoded bytes of a LUT held in the in-memory
+// cache under key, without consulting any attached tier — the lookup
+// the replica set's internal memo endpoint performs, where recursing
+// into the peer tier would ping-pong between cold replicas.
+func PeekEncoded(key string) ([]byte, bool) {
+	v, ok := lutCache.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	return lutCodec{}.Encode(v)
+}
+
+// AdoptEncoded decodes peer-offered LUT bytes and inserts them into the
+// in-memory cache without writing back through the tier (they are
+// durable wherever they came from). Reports whether the bytes were a
+// valid LUT encoding.
+func AdoptEncoded(key string, data []byte) bool {
+	v, ok := lutCodec{}.Decode(data)
+	if !ok {
+		return false
+	}
+	lutCache.Adopt(key, v)
+	return true
+}
