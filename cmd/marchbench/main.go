@@ -11,6 +11,10 @@
 //	marchbench -reps 5                  # more repetitions (minimum is kept)
 //	marchbench -label kernel            # entry label in the bench file
 //	marchbench -require-kernel          # fail unless the kernel engine ran
+//	marchbench -require-solver-gain 3   # fail unless warm beats enumerate 3x
+//	marchbench -solver-baseline BENCH_generate.json -require-adaptive-gain 1.5
+//	                                    # fail unless warm beats the committed
+//	                                    # solver-warmstart entry 1.5x further
 //
 // BENCH_generate.json is an append-only list of labelled entries: writing
 // with -o loads the existing file (the legacy single-sweep schema is
@@ -51,6 +55,22 @@ import (
 
 func main() { os.Exit(run()) }
 
+// adaptiveBaselineLabel names the committed bench entry the
+// -require-adaptive-gain guard compares warm node counts against: the
+// campaign taken just before the bound-escalation ladder landed.
+const adaptiveBaselineLabel = "solver-warmstart"
+
+// baselineWarmNodes returns the baseline entry's warm-mode node count
+// for the given fault list (0 when the row is absent or unmeasured).
+func baselineWarmNodes(e *experiments.BenchEntry, faults string) int64 {
+	for _, r := range e.Rows {
+		if r.Faults == faults {
+			return r.SolverNodesWarm
+		}
+	}
+	return 0
+}
+
 func run() int {
 	out := flag.String("o", "", "append the entry to this JSON file instead of stdout")
 	reps := flag.Int("reps", 3, "repetitions per configuration (the minimum time is kept)")
@@ -60,11 +80,32 @@ func run() int {
 		"fail unless the instrumented run used the bit-parallel kernel with no scalar fallback")
 	requireSolverGain := flag.Float64("require-solver-gain", 0,
 		"fail unless the warm solver cuts total exact-solver nodes by at least this factor on every complexity-6 row, with the joint solver no worse (0: don't check)")
+	solverBaseline := flag.String("solver-baseline", "",
+		"bench file holding the committed solver-warmstart entry to compare warm node counts against (used by -require-adaptive-gain)")
+	requireAdaptiveGain := flag.Float64("require-adaptive-gain", 0,
+		"fail unless warm-mode nodes are at least this factor below the -solver-baseline entry's on some complexity-6 row, and no worse on any (0: don't check)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if *reps <= 0 {
 		fmt.Fprintln(os.Stderr, "marchbench: -reps must be positive")
 		return budget.ExitUsage
+	}
+	var adaptiveBase *experiments.BenchEntry
+	if *requireAdaptiveGain > 0 {
+		if *solverBaseline == "" {
+			fmt.Fprintln(os.Stderr, "marchbench: -require-adaptive-gain needs -solver-baseline")
+			return budget.ExitUsage
+		}
+		base, err := experiments.LoadBenchFile(*solverBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchbench:", err)
+			return budget.ExitFail
+		}
+		if adaptiveBase = base.Entry(adaptiveBaselineLabel); adaptiveBase == nil {
+			fmt.Fprintf(os.Stderr, "marchbench: %s has no %q entry to compare against\n",
+				*solverBaseline, adaptiveBaselineLabel)
+			return budget.ExitFail
+		}
 	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "marchbench: -label must be non-empty")
@@ -87,6 +128,7 @@ func run() int {
 	obsCtx := obs.Into(context.Background(), orun)
 	ctx := context.Background()
 	entry := experiments.BenchEntry{Label: *label, GoMaxProcs: runtime.GOMAXPROCS(0), Reps: *reps}
+	adaptiveAchieved := false
 	for _, spec := range experiments.Table3Spec() {
 		row := experiments.BenchRow{Faults: spec.Faults, PoolWorkers: w}
 		// Sequential: one worker, no cache — the PR 1 engine.
@@ -147,6 +189,22 @@ func run() int {
 				return budget.ExitFail
 			}
 		}
+		if adaptiveBase != nil && spec.PaperComplexity == 6 {
+			baseWarm := baselineWarmNodes(adaptiveBase, spec.Faults)
+			if baseWarm <= 0 {
+				fmt.Fprintf(os.Stderr, "marchbench: %s: %q baseline entry has no warm node count for this row\n",
+					spec.Faults, adaptiveBaselineLabel)
+				return budget.ExitFail
+			}
+			if row.SolverNodesWarm > baseWarm {
+				fmt.Fprintf(os.Stderr, "marchbench: %s: warm solver regressed against the %q baseline (%d nodes, baseline %d)\n",
+					spec.Faults, adaptiveBaselineLabel, row.SolverNodesWarm, baseWarm)
+				return budget.ExitFail
+			}
+			if float64(baseWarm) >= *requireAdaptiveGain*float64(row.SolverNodesWarm) {
+				adaptiveAchieved = true
+			}
+		}
 		// Cached: prime the shared cache once, then measure warm hits.
 		marchgen.ResetCache()
 		if _, err := marchgen.GenerateCtx(ctx, spec.Faults, marchgen.WithWorkers(1)); err != nil {
@@ -170,6 +228,11 @@ func run() int {
 		row.SpeedupPar = float64(row.SequentialNS) / float64(row.ParallelNS)
 		row.SpeedupWarm = float64(row.SequentialNS) / float64(row.WarmCacheNS)
 		entry.Rows = append(entry.Rows, row)
+	}
+	if adaptiveBase != nil && !adaptiveAchieved {
+		fmt.Fprintf(os.Stderr, "marchbench: no complexity-6 row beat the %q baseline by %.1fx warm nodes\n",
+			adaptiveBaselineLabel, *requireAdaptiveGain)
+		return budget.ExitFail
 	}
 
 	file := &experiments.BenchFile{}
@@ -259,9 +322,12 @@ func measureEval(row *experiments.BenchRow, reps int, t *march.Test, instances [
 func measureSolver(row *experiments.BenchRow, reps int, faults, baseline string) error {
 	ctx := context.Background()
 	for _, mode := range []string{marchgen.SolverEnumerate, marchgen.SolverWarm, marchgen.SolverJoint} {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		res, err := marchgen.GenerateCtx(ctx, faults,
 			marchgen.WithSolverMode(mode), marchgen.WithWorkers(1),
 			marchgen.WithoutCache(), marchgen.WithMetrics())
+		runtime.ReadMemStats(&m1)
 		if err != nil {
 			return err
 		}
@@ -273,8 +339,12 @@ func measureSolver(row *experiments.BenchRow, reps int, faults, baseline string)
 		switch mode {
 		case marchgen.SolverEnumerate:
 			row.SolverNodesEnumerate = total
+			row.SolverAllocsEnumerate = m1.Mallocs - m0.Mallocs
 		case marchgen.SolverWarm:
 			row.SolverNodesWarm = total
+			row.SolverAllocsWarm = m1.Mallocs - m0.Mallocs
+			row.SolverEscalations = m["atsp.bb.escalated"] + m["atsp.enum.escalated"]
+			row.SolverEscalationPrunes = m["atsp.bb.escpruned"] + m["atsp.enum.escpruned"]
 		case marchgen.SolverJoint:
 			row.SolverNodesJoint = total
 		}

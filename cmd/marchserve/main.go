@@ -73,7 +73,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "default engine worker-pool size (0: GOMAXPROCS)")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batch gathering window (0: default 500µs; negative: disable batching)")
 	storeDir := flag.String("store", "", "durable job store directory (enables the /v1/jobs API; empty: jobs disabled)")
-	solver := flag.String("solver", "", "default exact-sweep solver mode: enumerate, warm or joint (empty: enumerate)")
+	solver := flag.String("solver", "", "default exact-sweep solver mode: enumerate, warm or joint (empty: warm)")
 	peers := flag.String("peers", "", "comma-separated replica addresses forming a replica set with this server (must include -addr)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 	obsFlags := obs.BindFlags(flag.CommandLine)

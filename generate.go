@@ -53,10 +53,13 @@ func WithBeamWidth(n int) Option {
 // Solver modes for WithSolverMode. The generated test and every statistic
 // except timing and solver-effort metrics are byte-identical in all modes.
 const (
-	// SolverEnumerate solves every §5 class selection cold (the default).
+	// SolverEnumerate solves every §5 class selection cold (the historic
+	// behaviour, kept for differential testing and baselines).
 	SolverEnumerate = core.SolverEnumerate
-	// SolverWarm threads each selection's solution into the next exact
-	// solve as a branch-and-bound warm start.
+	// SolverWarm (the default) threads each selection's solution into the
+	// next exact solve as a branch-and-bound warm start, and primes warm
+	// incumbents from cost fragments persisted by earlier runs when a
+	// durable cache tier is attached.
 	SolverWarm = core.SolverWarm
 	// SolverJoint is SolverWarm plus a joint search over the selection
 	// tree itself: duplicate selection subtrees are pruned up front and a

@@ -1,0 +1,331 @@
+// The bound-escalation ladder. The assignment relaxation is the branch
+// and bound's cheap first rung: incremental, near-tight on most TPG
+// matrices, and free to inherit down the tree. On instances with
+// near-uniform arc costs it goes slack — the assignment splits into many
+// short subtours whose cost sits well below every Hamiltonian cycle, so
+// subtrees survive the prune and the search degenerates toward
+// enumeration. The second rung is a Held–Karp-style Lagrangian bound on
+// the 1-arborescence relaxation: a Hamiltonian cycle through root r is a
+// spanning arborescence rooted at r plus one arc into r, so for any node
+// potentials u,
+//
+//	lb(u) = MSA(w′) + min_{i≠r} w′(i, r) + Σᵢ u(i),   w′(i,j) = w(i,j) − u(i),
+//
+// lower-bounds every cycle (each node leaves exactly once, so the −u(i)
+// discounts cancel against Σu). The potentials are improved by a short
+// subgradient loop — u(i) moves with 1 − outdeg(i) of the current
+// arborescence — and warm-started from the parent node's final
+// multipliers, the same inheritance discipline apState uses for its
+// reduced costs. Any u keeps the bound admissible, so escalation changes
+// node counts only, never the returned tour: the strict-prune + lexLess
+// contract of the search is indifferent to which admissible bound did
+// the pruning.
+//
+// Escalation is triggered per worker by a slackness window: a bitmask of
+// the last 32 expansions records which of them the assignment bound
+// pruned, and a node whose AP bound fails to prune while the window's
+// prune rate is low is escalated. The optimal-path enumeration applies
+// the same ladder shape with an assignment bound over its remaining
+// nodes (see enumerate.go).
+package atsp
+
+import "math/bits"
+
+// Escalation tuning. The window threshold is deliberately generous: an
+// AP bound that still prunes most of the window is doing its job, and
+// paying O(n³) Lagrangian iterations on top of it would be waste.
+const (
+	// bbEscalateMinN is the smallest constrained matrix worth escalating
+	// (below it the whole subtree is cheaper than one subgradient loop).
+	bbEscalateMinN = 5
+	// bbEscalateWindow is the sliding-window width in expansions.
+	bbEscalateWindow = 32
+	// bbEscalatePrunes is the prune count in the window at or above
+	// which the AP bound is considered tight enough to stay on rung one.
+	bbEscalatePrunes = 8
+	// lagrangeIters bounds the subgradient loop per escalated node.
+	lagrangeIters = 8
+)
+
+// bbForceEscalate, when true, escalates every eligible node regardless
+// of the slackness window. Tests set it to drive the Lagrangian bound
+// through the admissibility property harness.
+var bbForceEscalate bool
+
+// slackWindow is one worker's sliding record of recent expansion
+// outcomes: bit k set means the k-th most recent expansion was pruned by
+// the assignment bound alone.
+type slackWindow uint32
+
+// record shifts the window by one expansion.
+func (w *slackWindow) record(pruned bool) {
+	*w <<= 1
+	if pruned {
+		*w |= 1
+	}
+}
+
+// slack reports whether the window justifies escalating: too few of the
+// last bbEscalateWindow expansions were pruned on the first rung.
+func (w slackWindow) slack() bool {
+	return bits.OnesCount32(uint32(w)) < bbEscalatePrunes
+}
+
+// enumEscalateMinRemaining is the smallest unvisited remainder for which
+// the optimal-path enumeration escalates to the assignment bound (below
+// it the cheap min-out bound is already near exact and the O(k³) solve
+// pure overhead).
+const enumEscalateMinRemaining = 3
+
+// enumAPBound is the enumeration's second rung: an admissible assignment
+// bound on the cheapest completion of a partial path about to step onto
+// v. Rows are {v} ∪ R (R = unvisited minus v), columns R plus an end
+// column: v must exit into R, every node of R is entered exactly once,
+// and exactly one row — the path's final node — takes the free end
+// column. Every feasible suffix induces such an assignment, so the
+// optimal assignment lower-bounds the suffix cost. rem is caller-owned
+// scratch of length ≥ len(m).
+func enumAPBound(m Matrix, visited []bool, v int, rem []int) int {
+	k := 0
+	for w := 0; w < len(m); w++ {
+		if !visited[w] && w != v {
+			rem[k] = w
+			k++
+		}
+	}
+	sub := matrixFor(k + 1)
+	for j := 0; j < k; j++ {
+		sub[0][j] = m[v][rem[j]]
+	}
+	sub[0][k] = Inf // v is not the final node: it must exit into R
+	for i := 0; i < k; i++ {
+		ri := rem[i]
+		for j := 0; j < k; j++ {
+			if i == j {
+				sub[i+1][j] = Inf
+			} else {
+				sub[i+1][j] = m[ri][rem[j]]
+			}
+		}
+		sub[i+1][k] = 0 // the path may end at any remaining node, free
+	}
+	lb := assignmentCost(sub)
+	releaseMatrix(sub)
+	return lb
+}
+
+// assignmentCost solves the linear assignment problem on m with a pooled
+// state and returns only the optimal cost.
+func assignmentCost(m Matrix) int {
+	s := apStateFor(len(m))
+	for i := 1; i <= s.n; i++ {
+		if s.row[i] == 0 {
+			s.augment(m, i)
+		}
+	}
+	cost := 0
+	for i := 1; i <= s.n; i++ {
+		cost += m[i-1][s.row[i]-1]
+	}
+	s.release()
+	return cost
+}
+
+// lagrangeBound computes the 1-arborescence Lagrangian lower bound on
+// the cyclic ATSP over w, warm-started from the multipliers of a parent
+// subproblem (nil: cold start) and steered toward the incumbent cost
+// target. It returns the best bound over the subgradient iterations and
+// the final multipliers for this node's children; warm is never mutated.
+// The bound is admissible for every multiplier vector, and Inf when the
+// instance has no spanning 1-arborescence (hence no tour).
+func lagrangeBound(w Matrix, warm []int, target int) (int, []int) {
+	n := len(w)
+	u := make([]int, n)
+	if len(warm) == n {
+		copy(u, warm)
+	}
+	red := matrixFor(n)
+	defer releaseMatrix(red)
+	outdeg := make([]int, n)
+	best := 0
+	lam := 2 // subgradient step numerator, halved on stagnation
+	for it := 0; it < lagrangeIters; it++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || w[i][j] >= Inf {
+					red[i][j] = apInf
+				} else {
+					red[i][j] = w[i][j] - u[i]
+				}
+			}
+		}
+		sumU := 0
+		for _, ui := range u {
+			sumU += ui
+		}
+		arbo, ok := minArborescence(red, 0, outdeg)
+		if !ok {
+			return Inf, u
+		}
+		inRoot, inRootFrom := apInf, -1
+		for i := 1; i < n; i++ {
+			if red[i][0] < inRoot {
+				inRoot, inRootFrom = red[i][0], i
+			}
+		}
+		if inRootFrom < 0 {
+			return Inf, u
+		}
+		outdeg[inRootFrom]++ // the arc closing the cycle
+		lb := arbo + inRoot + sumU
+		if lb > best {
+			best = lb
+		} else {
+			lam /= 2
+			if lam == 0 {
+				break
+			}
+		}
+		if best > target {
+			break // already strong enough to prune: no point polishing
+		}
+		// Subgradient step toward out-degree 1 everywhere. The direction
+		// comes from the greedy in-arc selection (exact for an acyclic
+		// selection, heuristic otherwise) — admissibility never depends
+		// on it.
+		norm := 0
+		for i := 0; i < n; i++ {
+			g := 1 - outdeg[i]
+			norm += g * g
+		}
+		if norm == 0 {
+			break // the arborescence is degree-feasible: lb is as good as this relaxation gets
+		}
+		step := lam * (target - lb + 1) / norm
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i++ {
+			u[i] += step * (1 - outdeg[i])
+		}
+	}
+	if best >= Inf {
+		best = Inf - 1 // a finite relaxation never proves infeasibility
+	}
+	return best, u
+}
+
+// minArborescence returns the cost of the minimum spanning arborescence
+// of the dense digraph red rooted at root (arcs at apInf and self-loops
+// are absent), plus — through outdeg — the out-degrees of the greedy
+// in-arc selection of the uncontracted graph, the direction the
+// subgradient step steers by. ok is false when some node is unreachable.
+//
+// Chu–Liu/Edmonds with cycle contraction; deterministic (first minimum
+// wins, nodes scanned in index order), which keeps sequential node
+// counts reproducible.
+func minArborescence(red Matrix, root int, outdeg []int) (cost int, ok bool) {
+	n := len(red)
+	for i := range outdeg {
+		outdeg[i] = 0
+	}
+	if n <= 1 {
+		return 0, true
+	}
+	// Edge list over the live contraction: from, to, cost.
+	type edge struct{ from, to, cost int }
+	edges := make([]edge, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && red[i][j] < apInf {
+				edges = append(edges, edge{i, j, red[i][j]})
+			}
+		}
+	}
+	firstRound := true
+	total := 0
+	nodes := n
+	for {
+		inCost := make([]int, nodes)
+		inFrom := make([]int, nodes)
+		for v := range inCost {
+			inCost[v] = apInf
+			inFrom[v] = -1
+		}
+		for _, e := range edges {
+			if e.to != root && e.cost < inCost[e.to] {
+				inCost[e.to] = e.cost
+				inFrom[e.to] = e.from
+			}
+		}
+		for v := 0; v < nodes; v++ {
+			if v != root && inFrom[v] < 0 {
+				return 0, false
+			}
+		}
+		if firstRound {
+			for v := 0; v < nodes; v++ {
+				if v != root {
+					outdeg[inFrom[v]]++
+				}
+			}
+			firstRound = false
+		}
+		// Detect cycles among the chosen in-arcs.
+		id := make([]int, nodes)
+		vis := make([]int, nodes)
+		for v := range id {
+			id[v], vis[v] = -1, -1
+		}
+		groups := 0
+		for v := 0; v < nodes; v++ {
+			if v != root {
+				total += inCost[v]
+			}
+			x := v
+			for x != root && vis[x] < 0 && id[x] < 0 {
+				vis[x] = v
+				x = inFrom[x]
+			}
+			if x != root && id[x] < 0 && vis[x] == v {
+				// x closes a new cycle: contract it into group `groups`.
+				for y := inFrom[x]; y != x; y = inFrom[y] {
+					id[y] = groups
+				}
+				id[x] = groups
+				groups++
+			}
+		}
+		if groups == 0 {
+			return total, true
+		}
+		// Label every uncontracted node with its own fresh group id.
+		for v := 0; v < nodes; v++ {
+			if id[v] < 0 {
+				id[v] = groups
+				groups++
+			}
+		}
+		// Rebuild the edge list over the contracted graph. Every round
+		// already paid each node's chosen in-arc into total, so every
+		// surviving arc is discounted by the in-cost of its head: a later
+		// round re-selecting the head's in-arc then pays only the
+		// increment over the greedy choice — the classic Chu–Liu
+		// accounting.
+		next := edges[:0]
+		for _, e := range edges {
+			f, t := id[e.from], id[e.to]
+			if f == t {
+				continue
+			}
+			c := e.cost
+			if e.to != root {
+				c -= inCost[e.to]
+			}
+			next = append(next, edge{f, t, c})
+		}
+		edges = next
+		root = id[root]
+		nodes = groups
+	}
+}

@@ -1,0 +1,334 @@
+package atsp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteArborescence enumerates every in-arc selection of red (one in-arc
+// per non-root node) and returns the cheapest acyclic one, i.e. the true
+// minimum spanning arborescence cost. ok is false when no selection is
+// acyclic (or some node has no in-arc at all).
+func bruteArborescence(red Matrix, root int) (int, bool) {
+	n := len(red)
+	inFrom := make([]int, n)
+	best, found := 0, false
+	var rec func(v int, cost int)
+	rec = func(v int, cost int) {
+		if v == n {
+			// Acyclic iff every node walks up to the root.
+			for s := 0; s < n; s++ {
+				x, steps := s, 0
+				for x != root {
+					x = inFrom[x]
+					if steps++; steps > n {
+						return
+					}
+				}
+			}
+			if !found || cost < best {
+				best, found = cost, true
+			}
+			return
+		}
+		if v == root {
+			rec(v+1, cost)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if i != v && red[i][v] < apInf {
+				inFrom[v] = i
+				rec(v+1, cost+red[i][v])
+			}
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// TestMinArborescence pits the Chu–Liu/Edmonds implementation against the
+// brute-force in-arc enumeration on small dense and wall-riddled graphs.
+func TestMinArborescence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	outdeg := make([]int, 8)
+	for iter := 0; iter < 200; iter++ {
+		// 2..7: brute force is (n-1)^(n-1) selections, and the classic
+		// accounting bug (double-counting re-selected non-cycle in-arcs)
+		// only shows from n=6 nested contractions up.
+		n := 2 + rng.Intn(6)
+		red := make(Matrix, n)
+		for i := range red {
+			red[i] = make([]int, n)
+			for j := range red[i] {
+				if i == j || rng.Intn(5) == 0 {
+					red[i][j] = apInf
+				} else {
+					red[i][j] = rng.Intn(20) - 5 // negative reduced costs occur
+				}
+			}
+		}
+		want, wantOK := bruteArborescence(red, 0)
+		got, gotOK := minArborescence(red, 0, outdeg[:n])
+		if gotOK != wantOK {
+			t.Fatalf("n=%d: feasible=%v, brute force says %v for\n%v", n, gotOK, wantOK, red)
+		}
+		if gotOK && got != want {
+			t.Fatalf("n=%d: arborescence cost %d, brute force %d for\n%v", n, got, want, red)
+		}
+	}
+}
+
+// TestLagrangeBoundAdmissible checks the core property of the second rung
+// directly: for any multiplier warm start — nil, garbage, or a prior
+// node's output — lagrangeBound never exceeds the optimal cyclic tour.
+func TestLagrangeBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		n := 4 + rng.Intn(5) // 4..8
+		m := randomMatrix(rng, n, 10)
+		w := m.Clone()
+		for i := 0; i < n; i++ {
+			w[i][i] = Inf
+		}
+		opt := bruteForce(m)
+		garbage := make([]int, n)
+		for i := range garbage {
+			garbage[i] = rng.Intn(9) - 4
+		}
+		for _, warm := range [][]int{nil, garbage} {
+			lb, mult := lagrangeBound(w, warm, opt)
+			if lb > opt {
+				t.Fatalf("n=%d warm=%v: bound %d exceeds optimum %d for\n%v", n, warm, lb, opt, m)
+			}
+			// The returned multipliers must keep the bound admissible when
+			// fed back in — the warm-start path every child node takes.
+			if lb2, _ := lagrangeBound(w, mult, opt); lb2 > opt {
+				t.Fatalf("n=%d: rewarmed bound %d exceeds optimum %d", n, lb2, opt)
+			}
+		}
+	}
+}
+
+// TestLagrangeBoundInfeasible: a node with every in-arc walled has no
+// spanning arborescence and no tour; the bound must say Inf.
+func TestLagrangeBoundInfeasible(t *testing.T) {
+	w := Matrix{
+		{Inf, 1, Inf},
+		{1, Inf, Inf},
+		{1, 1, Inf}, // node 2 unreachable
+	}
+	if lb, _ := lagrangeBound(w, nil, 100); lb < Inf {
+		t.Fatalf("infeasible instance bounded at %d, want Inf", lb)
+	}
+}
+
+// TestEscalatedBoundAdmissible is TestAPBoundAdmissible with the ladder
+// forced: every eligible node climbs to the Lagrangian rung, and the
+// bound the hook observes — now the max of both rungs — must still
+// lower-bound the optimal tour of the node's constrained matrix.
+func TestEscalatedBoundAdmissible(t *testing.T) {
+	bbForceEscalate = true
+	defer func() { bbForceEscalate = false }()
+	rng := rand.New(rand.NewSource(20260809))
+	for iter := 0; iter < 12; iter++ {
+		n := 5 + rng.Intn(5) // 5..9: at or above bbEscalateMinN
+		m := randomMatrix(rng, n, 8)
+		opt := bruteForce(m)
+		warm, _ := Patch(m)
+		for _, workers := range []int{1, 4} {
+			_, cost, nodes := collectBounds(t, m, SolveOptions{Workers: workers, WarmTour: warm})
+			if cost != opt {
+				t.Fatalf("n=%d workers=%d: cost %d, brute force %d", n, workers, cost, opt)
+			}
+			for _, nd := range nodes {
+				if nd.lb >= Inf {
+					continue
+				}
+				if bf := bruteForce(nd.w); nd.lb > bf {
+					t.Errorf("n=%d workers=%d: inadmissible escalated bound %d > optimum %d for\n%v",
+						n, workers, nd.lb, bf, nd.w)
+				}
+			}
+		}
+	}
+}
+
+// TestEscalationEquivalence asserts the ladder's byte-identity contract:
+// a solve with every node force-escalated returns exactly the tour and
+// cost of the plain AP-bounded solve, at any worker count, warm or cold.
+func TestEscalationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 20; iter++ {
+		n := 5 + rng.Intn(5)
+		m := randomMatrix(rng, n, 4) // tight cost range: tie pressure
+		want, wantCost, err := BranchBoundOpt(nil, m, SolveOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("baseline solve: %v", err)
+		}
+		warm, _ := Patch(m)
+		bbForceEscalate = true
+		for _, workers := range []int{1, 4} {
+			for _, wt := range [][]int{nil, warm} {
+				got, gotCost, err := BranchBoundOpt(nil, m, SolveOptions{Workers: workers, WarmTour: wt})
+				if err != nil {
+					bbForceEscalate = false
+					t.Fatalf("escalated solve: %v", err)
+				}
+				if gotCost != wantCost || !reflect.DeepEqual(got, want) {
+					bbForceEscalate = false
+					t.Fatalf("n=%d workers=%d warm=%v: escalated tour %v cost %d, baseline %v cost %d",
+						n, workers, wt != nil, got, gotCost, want, wantCost)
+				}
+			}
+		}
+		bbForceEscalate = false
+	}
+}
+
+// TestEnumAPBoundAdmissible checks the enumeration's second rung against
+// brute force: for random partial-path states, the assignment bound never
+// exceeds the cheapest completion of the path through v.
+func TestEnumAPBoundAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rem := make([]int, 8)
+	for iter := 0; iter < 120; iter++ {
+		n := 4 + rng.Intn(4) // 4..7
+		m := randomMatrix(rng, n, 10)
+		visited := make([]bool, n)
+		k := rng.Intn(n - 2) // leave at least two unvisited: v plus one more
+		for c := 0; c < k; c++ {
+			visited[rng.Intn(n)] = true
+		}
+		v := -1
+		for w := 0; w < n; w++ {
+			if !visited[w] {
+				v = w
+				break
+			}
+		}
+		// Brute-force cheapest suffix: v first, then every order of the rest.
+		var unv []int
+		for w := 0; w < n; w++ {
+			if !visited[w] && w != v {
+				unv = append(unv, w)
+			}
+		}
+		if len(unv) == 0 {
+			continue
+		}
+		best := Inf
+		perm := append([]int(nil), unv...)
+		var rec func(last, k, cost int)
+		rec = func(last, k, cost int) {
+			if k == len(perm) {
+				if cost < best {
+					best = cost
+				}
+				return
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(perm[k], k+1, cost+m[last][perm[k]])
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(v, 0, 0)
+		if lb := enumAPBound(m, visited, v, rem); lb > best {
+			t.Fatalf("n=%d visited=%v v=%d: bound %d exceeds cheapest suffix %d for\n%v",
+				n, visited, v, lb, best, m)
+		}
+	}
+}
+
+// TestOptimalPathsMatchBruteForce is the enumeration's byte-identity
+// regression: the emitted optimal-path list — contents AND order — must
+// equal the lexicographic brute-force enumeration of cost-optimal paths,
+// whatever bounds pruned the search tree.
+func TestOptimalPathsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260810))
+	for iter := 0; iter < 24; iter++ {
+		n := 4 + rng.Intn(4) // 4..7
+		m := randomMatrix(rng, n, 4)
+		starts := make([]int, n)
+		for i := range starts {
+			starts[i] = rng.Intn(3)
+		}
+		// Brute force in lexicographic DFS order, the order rec emits in.
+		var want [][]int
+		best := Inf
+		cur := make([]int, 0, n)
+		used := make([]bool, n)
+		var rec func(cost int)
+		rec = func(cost int) {
+			if len(cur) == n {
+				if cost < best {
+					best = cost
+					want = want[:0]
+				}
+				if cost == best {
+					want = append(want, append([]int(nil), cur...))
+				}
+				return
+			}
+			for v := 0; v < n; v++ {
+				if used[v] {
+					continue
+				}
+				step := starts[v]
+				if len(cur) > 0 {
+					step = m[cur[len(cur)-1]][v]
+				}
+				used[v] = true
+				cur = append(cur, v)
+				rec(cost + step)
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+		rec(0)
+		got, cost, err := OptimalPaths(m, starts, len(want)+8)
+		if err != nil {
+			t.Fatalf("OptimalPaths: %v", err)
+		}
+		if cost != best {
+			t.Fatalf("n=%d: optimal cost %d, brute force %d", n, cost, best)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: emitted paths diverge from brute force\ngot:  %v\nwant: %v", n, got, want)
+		}
+	}
+}
+
+// FuzzEscalationEquivalence fuzzes the full ladder contract: forced
+// escalation returns the byte-identical tour of the unescalated solve,
+// sequential and parallel, and the cost matches Held–Karp.
+func FuzzEscalationEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(6))
+	f.Add(int64(20260808), uint8(9))
+	f.Add(int64(-3), uint8(250))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := 5 + int(nRaw%5) // 5..9
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, n, 2+int(nRaw%12))
+		cold, coldCost, err := BranchBoundOpt(nil, m, SolveOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("cold solve: %v", err)
+		}
+		if _, hk, err := HeldKarp(m); err != nil || hk != coldCost {
+			t.Fatalf("Held-Karp cost %d (err %v), branch and bound %d", hk, err, coldCost)
+		}
+		bbForceEscalate = true
+		defer func() { bbForceEscalate = false }()
+		for _, workers := range []int{1, 4} {
+			got, gotCost, err := BranchBoundOpt(nil, m, SolveOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("escalated solve (workers=%d): %v", workers, err)
+			}
+			if gotCost != coldCost || !reflect.DeepEqual(got, cold) {
+				t.Fatalf("workers=%d: escalated tour %v cost %d, cold %v cost %d",
+					workers, got, gotCost, cold, coldCost)
+			}
+		}
+	})
+}

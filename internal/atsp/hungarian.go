@@ -23,6 +23,12 @@ type apState struct {
 	v   []int // column potentials
 	p   []int // p[col] = row matched to col (0 = none)
 	row []int // row[r] = col matched to row r (0 = none)
+
+	// Augmenting-search scratch, reused across augment calls (and across
+	// pooled reuses of the whole state): holds no state between calls.
+	way  []int
+	minv []int
+	used []bool
 }
 
 // newAPState returns an empty state for an n×n instance.
@@ -33,17 +39,6 @@ func newAPState(n int) *apState {
 		v:   make([]int, n+1),
 		p:   make([]int, n+1),
 		row: make([]int, n+1),
-	}
-}
-
-// clone deep-copies the state so a child subproblem can diverge.
-func (s *apState) clone() *apState {
-	return &apState{
-		n:   s.n,
-		u:   append([]int(nil), s.u...),
-		v:   append([]int(nil), s.v...),
-		p:   append([]int(nil), s.p...),
-		row: append([]int(nil), s.row...),
 	}
 }
 
@@ -61,11 +56,15 @@ func (s *apState) unassignRow(r int) {
 // path under the current potentials.
 func (s *apState) augment(m Matrix, i int) {
 	n := s.n
-	way := make([]int, n+1)
-	minv := make([]int, n+1)
-	used := make([]bool, n+1)
+	if cap(s.way) <= n {
+		s.way = make([]int, n+1)
+		s.minv = make([]int, n+1)
+		s.used = make([]bool, n+1)
+	}
+	way, minv, used := s.way[:n+1], s.minv[:n+1], s.used[:n+1]
 	for j := 0; j <= n; j++ {
 		minv[j] = apInf
+		used[j] = false
 	}
 	s.p[0] = i
 	j0 := 0

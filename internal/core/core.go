@@ -55,7 +55,7 @@ type Options struct {
 	// equivalence class (the Section 5 ablation).
 	DisableEquivalence bool
 	// SolverMode selects how the selection sweep drives the exact solver:
-	// SolverEnumerate (the default, also chosen by ""), SolverWarm or
+	// SolverWarm (the default, also chosen by ""), SolverEnumerate or
 	// SolverJoint — see the constants in joint.go. The generated test and
 	// every Result field are byte-identical in all modes; only solver
 	// effort (node counts, timings, mode-specific metrics) differs. An
@@ -189,7 +189,7 @@ func GenerateCtx(ctx context.Context, models []fault.Model, opts Options) (_ *Re
 	}
 	mode := opts.SolverMode
 	if mode == "" {
-		mode = SolverEnumerate
+		mode = SolverWarm
 	}
 	switch mode {
 	case SolverEnumerate, SolverWarm, SolverJoint:
@@ -727,6 +727,30 @@ func warmFromPrev(g *tpg.Graph, nodes []tpg.Node, starts []int, prev []fsm.Patte
 	return atsp.CompletePath(atsp.Matrix(g.Weight), starts, partial)
 }
 
+// validWarmPath reports whether a persisted path is a permutation of the
+// n TPG nodes — the only shape safe to hand the solver as a warm
+// incumbent. Fragments cross process (and version) boundaries, so shape
+// is checked here even though the codec already rejects torn envelopes.
+func validWarmPath(p []int, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// visitCost is the full visit objective of a warm path: start cost of its
+// first node plus the path's arc costs.
+func visitCost(g *tpg.Graph, starts []int, p []int) int {
+	return starts[p[0]] + atsp.Matrix(g.Weight).PathCost(p)
+}
+
 // orderConfig tunes one orderPatterns call.
 type orderConfig struct {
 	// exact requests the exact solve (false: layered heuristics).
@@ -787,13 +811,24 @@ func orderPatterns(m *budget.Meter, nodes []tpg.Node, cfg orderConfig, cache *me
 			var warmPath []int
 			if cfg.preferBB {
 				warmPath = warmFromPrev(g, nodes, starts, cfg.warm)
-				if warmPath == nil && cache != nil {
-					// No sweep neighbour to patch from: a cost fragment left
-					// by an earlier run (or the joint certificate) still
-					// provides a warm incumbent.
+				if cache != nil {
+					// A cost fragment left by an earlier run (or the joint
+					// certificate) competes with the sweep neighbour for the
+					// warm incumbent: the cheaper path primes harder, and on
+					// a restart the fragment is often exactly optimal, so the
+					// solve short-circuits at the root. Fragments crossing a
+					// process boundary are validated before use, and a tie
+					// keeps the sweep neighbour — runs without a disk tier
+					// behave exactly as before. Warm paths prime node counts
+					// only, never the returned orderings (see PathOptions).
 					if v, ok := cache.Get(tpgCostKey(g, starts)); ok {
 						obs.From(m.Context()).Counter("memo.tpgcost_hits").Inc()
-						warmPath = v.(*tpgCostFragment).path
+						if fp := v.(*tpgCostFragment).path; validWarmPath(fp, len(nodes)) {
+							if warmPath == nil || visitCost(g, starts, fp) < visitCost(g, starts, warmPath) {
+								obs.From(m.Context()).Counter("core.warm.primed").Inc()
+								warmPath = fp
+							}
+						}
 					}
 				}
 			}

@@ -34,12 +34,15 @@ import (
 // Solver modes for Options.SolverMode; the generated test is byte-identical
 // in every mode, only solver effort differs.
 const (
-	// SolverEnumerate solves every enumerated selection cold (the
-	// pre-joint behaviour, and the default).
+	// SolverEnumerate solves every enumerated selection cold — the
+	// historic behaviour, kept selectable for differential testing and
+	// baseline measurement.
 	SolverEnumerate = "enumerate"
-	// SolverWarm threads each selection's solution into the next solve as
-	// a branch-and-bound warm start (adjacent selections differ by one
-	// class choice, so the patched previous tour is a near-tight bound).
+	// SolverWarm — the default (also chosen by the empty mode) — threads
+	// each selection's solution into the next solve as a branch-and-bound
+	// warm start (adjacent selections differ by one class choice, so the
+	// patched previous tour is a near-tight bound), and hydrates warm
+	// incumbents from durable cost fragments left by earlier runs.
 	SolverWarm = "warm"
 	// SolverJoint is SolverWarm plus the selection-tree mechanisms above.
 	SolverJoint = "joint"
@@ -118,8 +121,10 @@ outer:
 }
 
 // certSearch is the optimality-certificate branch and bound over the full
-// per-class choice product. Caps keep it a bounded post-pass: a search
-// that overruns them reports itself capped instead of completing.
+// per-class choice product. Caps keep it a bounded post-pass: allowances
+// start at the base values and grow only while the incumbent keeps
+// improving; a search that overruns them reports itself capped instead
+// of completing.
 type certSearch struct {
 	classes []tpg.Class
 	choices [][]int
@@ -136,14 +141,46 @@ type certSearch struct {
 	nodes, leaves, cachedHits, pruned int
 	capped                            bool
 	err                               error
+
+	// nodeCap/leafCap are the current allowances, started at the base
+	// values and doubled — up to the hard ceilings — whenever a cap is
+	// hit while the incumbent is still improving (see grow). lastImprove*
+	// record the effort counters at the last incumbent improvement;
+	// grew counts doublings for the core.joint.cert_grown metric.
+	nodeCap, leafCap                    int
+	lastImproveNodes, lastImproveLeaves int
+	grew                                int
 }
 
 const (
-	// certNodeCap bounds the certificate's tree nodes; certLeafCap bounds
-	// the fresh cost-only exact solves it may trigger.
-	certNodeCap = 20000
-	certLeafCap = 256
+	// certNodeCapBase bounds the certificate's tree nodes and
+	// certLeafCapBase the fresh cost-only exact solves it may trigger —
+	// the starting allowances, identical to the historic fixed caps, so
+	// a search that never earns growth behaves exactly as before.
+	certNodeCapBase = 20000
+	certLeafCapBase = 256
+	// certNodeCapMax/certLeafCapMax are the hard ceilings adaptive growth
+	// may reach (8× the base): the certificate stays a bounded post-pass.
+	certNodeCapMax = 160000
+	certLeafCapMax = 2048
 )
+
+// grow doubles an allowance when the evidence justifies it: the last
+// incumbent improvement fell in the second half of the current allowance,
+// i.e. the search was still finding cheaper selections when it ran out.
+// A search whose improvements dried up early stays capped — more effort
+// would almost surely just re-confirm the incumbent.
+func (c *certSearch) grow(cap *int, max, lastImprove int) bool {
+	if *cap >= max || lastImprove*2 <= *cap {
+		return false
+	}
+	*cap *= 2
+	if *cap > max {
+		*cap = max
+	}
+	c.grew++
+	return true
+}
 
 // bound is the admissible lower bound of every completion below a partial
 // choice: each distinct operation signature among the chosen patterns
@@ -194,7 +231,7 @@ func (c *certSearch) search(depth int, chosen []fsm.Pattern, sel tpg.Selection) 
 		return
 	}
 	c.nodes++
-	if c.nodes > certNodeCap {
+	if c.nodes > c.nodeCap && !c.grow(&c.nodeCap, certNodeCapMax, c.lastImproveNodes) {
 		c.capped = true
 		return
 	}
@@ -220,12 +257,10 @@ func (c *certSearch) leaf(sel tpg.Selection) {
 	sig := nodeSignature(nodes)
 	if cost, ok := c.selCost[sig]; ok {
 		c.cachedHits++
-		if c.best < 0 || cost < c.best {
-			c.best = cost
-		}
+		c.improve(cost)
 		return
 	}
-	if c.leaves >= certLeafCap {
+	if c.leaves >= c.leafCap && !c.grow(&c.leafCap, certLeafCapMax, c.lastImproveLeaves) {
 		c.capped = true
 		return
 	}
@@ -236,14 +271,22 @@ func (c *certSearch) leaf(sel tpg.Selection) {
 		return
 	}
 	c.selCost[sig] = cost
+	c.improve(cost)
+}
+
+// improve folds a leaf cost into the incumbent, recording the effort
+// counters on improvement — the signal cap growth keys on.
+func (c *certSearch) improve(cost int) {
 	if c.best < 0 || cost < c.best {
 		c.best = cost
+		c.lastImproveNodes = c.nodes
+		c.lastImproveLeaves = c.leaves
 	}
 }
 
 // runCertificate runs the certificate search and publishes its outcome to
 // the run's metrics: core.joint.cert_nodes / cert_leaves / cert_cached /
-// cert_pruned count the effort, and — only when the search completed
+// cert_pruned count the effort, cert_grown the adaptive cap doublings, and — only when the search completed
 // within its caps — core.joint.cert_min carries the certified minimum
 // selection cost (core.joint.cert_capped flags an overrun instead). The
 // returned error is non-nil only on hard cancellation.
@@ -256,12 +299,15 @@ func runCertificate(m *budget.Meter, classes []tpg.Class, selCost map[string]int
 		workers: workers,
 		selCost: selCost,
 		best:    prime,
+		nodeCap: certNodeCapBase,
+		leafCap: certLeafCapBase,
 	}
 	c.search(0, make([]fsm.Pattern, 0, len(classes)), make(tpg.Selection, len(classes)))
 	run.Counter("core.joint.cert_nodes").Add(int64(c.nodes))
 	run.Counter("core.joint.cert_leaves").Add(int64(c.leaves))
 	run.Counter("core.joint.cert_cached").Add(int64(c.cachedHits))
 	run.Counter("core.joint.cert_pruned").Add(int64(c.pruned))
+	run.Counter("core.joint.cert_grown").Add(int64(c.grew))
 	if c.err != nil {
 		return c.err
 	}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"marchgen/fault"
+	"marchgen/fsm"
+	"marchgen/internal/cover"
+	"marchgen/internal/tpg"
+)
+
+// runCert drives a bare certificate search over classes with explicit
+// starting allowances and no incumbent prime, so every cheaper selection
+// improves the incumbent — the signal adaptive growth keys on.
+func runCert(t *testing.T, classes []tpg.Class, nodeCap, leafCap int) *certSearch {
+	t.Helper()
+	c := &certSearch{
+		classes: classes,
+		choices: tpg.Choices(classes),
+		workers: 1,
+		selCost: map[string]int{},
+		best:    -1,
+		nodeCap: nodeCap,
+		leafCap: leafCap,
+	}
+	c.search(0, make([]fsm.Pattern, 0, len(classes)), make(tpg.Selection, len(classes)))
+	if c.err != nil {
+		t.Fatalf("certificate search: %v", c.err)
+	}
+	return c
+}
+
+func classesFor(t *testing.T, list string) []tpg.Class {
+	t.Helper()
+	models, err := fault.ParseList(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instances []fault.Instance
+	for _, m := range models {
+		instances = append(instances, m.Instances...)
+	}
+	return tpg.Classes(instances)
+}
+
+// TestCertAdaptiveCapsInvariance is the output-invariance contract of the
+// adaptive caps: whenever a small-base adaptive search completes (possibly
+// after growing), its certified minimum is exactly the one a maxed-cap
+// fixed search finds; and at least one configuration must actually
+// exercise growth, or the adaptive machinery is dead code.
+func TestCertAdaptiveCapsInvariance(t *testing.T) {
+	grewSomewhere := false
+	for _, list := range []string{"SAF,TF,ADF", "SAF,TF,ADF,CFin", "SAF,TF,ADF,CFin,CFid"} {
+		classes := classesFor(t, list)
+		ref := runCert(t, classes, certNodeCapMax, certLeafCapMax)
+		if ref.capped {
+			t.Fatalf("%s: reference search capped at the ceilings", list)
+		}
+		for _, caps := range []struct{ node, leaf int }{
+			{certNodeCapBase, certLeafCapBase},
+			{256, 8},
+			{64, 4},
+			{16, 2},
+		} {
+			c := runCert(t, classes, caps.node, caps.leaf)
+			if c.grew > 0 {
+				grewSomewhere = true
+			}
+			if c.capped {
+				continue // honestly reported as incomplete: nothing to compare
+			}
+			if c.best != ref.best {
+				t.Errorf("%s caps=%d/%d: adaptive minimum %d, fixed-cap minimum %d",
+					list, caps.node, caps.leaf, c.best, ref.best)
+			}
+		}
+	}
+	if !grewSomewhere {
+		t.Error("no configuration exercised adaptive cap growth")
+	}
+}
+
+// TestCertGrow pins the growth rule itself: doubling happens only below
+// the ceiling and only when the last improvement fell in the second half
+// of the current allowance, and the doubled cap clamps to the ceiling.
+func TestCertGrow(t *testing.T) {
+	c := &certSearch{}
+	cap := 100
+	if c.grow(&cap, 1000, 50) {
+		t.Error("grew on an improvement at exactly half the allowance")
+	}
+	if !c.grow(&cap, 1000, 51) || cap != 200 {
+		t.Errorf("expected growth to 200, got %d", cap)
+	}
+	cap = 600
+	if !c.grow(&cap, 1000, 301) || cap != 1000 {
+		t.Errorf("expected clamp to 1000, got %d", cap)
+	}
+	if c.grow(&cap, 1000, 999) {
+		t.Error("grew past the ceiling")
+	}
+	if c.grew != 2 {
+		t.Errorf("grew counter %d, want 2", c.grew)
+	}
+}
+
+// TestJointModeAdaptiveByteIdentity re-asserts the cross-mode contract on
+// the row whose certificate is the largest in the Table 3 suite: the
+// joint-mode result (which runs the adaptive certificate) must be
+// byte-identical to enumerate mode.
+func TestJointModeAdaptiveByteIdentity(t *testing.T) {
+	optsE := DefaultOptions()
+	optsE.SolverMode = SolverEnumerate
+	optsJ := DefaultOptions()
+	optsJ.SolverMode = SolverJoint
+	e := generate(t, "SAF,TF,ADF,CFin", optsE)
+	j := generate(t, "SAF,TF,ADF,CFin", optsJ)
+	if e.Test.String() != j.Test.String() || e.Complexity != j.Complexity {
+		t.Fatalf("joint output diverges: %q (%dn) vs enumerate %q (%dn)",
+			j.Test, j.Complexity, e.Test, e.Complexity)
+	}
+	if _, err := cover.Analyze(j.Test, j.Instances); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"marchgen/internal/memo"
+	"marchgen/internal/obs"
+)
+
+// mapTier is an in-memory memo.DiskTier standing in for the durable
+// store: the bytes it holds survive "restarts" (fresh memo.Cache
+// instances attached over the same map) exactly like a real disk tier.
+type mapTier struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapTier() *mapTier { return &mapTier{m: map[string][]byte{}} }
+
+func (t *mapTier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.m[key]
+	return b, ok
+}
+
+func (t *mapTier) Put(key string, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key] = append([]byte(nil), data...)
+}
+
+// without clones the tier keeping only entries whose persisted kind is
+// outside the given set — simulating partial durability (some kinds
+// evicted or never persisted) across a restart.
+func (t *mapTier) without(kinds ...string) *mapTier {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := newMapTier()
+outer:
+	for k, v := range t.m {
+		for _, kind := range kinds {
+			if strings.Contains(string(v), `"kind":"`+kind+`"`) {
+				continue outer
+			}
+		}
+		out.m[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// primedRun generates list in warm mode over a fresh cache attached to
+// tier, returning the result and the run's metrics snapshot — one
+// simulated process lifetime.
+func primedRun(t *testing.T, list string, tier memo.DiskTier) (*Result, map[string]int64) {
+	t.Helper()
+	cache := memo.New(0)
+	cache.AttachDisk(tier, Codec())
+	run := obs.NewRun()
+	opts := warmOptions()
+	opts.Cache = cache
+	opts.Obs = run
+	res := generate(t, list, opts)
+	return res, run.Snapshot()
+}
+
+func solverTotal(m map[string]int64) int64 {
+	return m["atsp.heldkarp.states"] + m["atsp.bb.expanded"] + m["atsp.enum.nodes"]
+}
+
+// TestCrossRestartPriming proves the durable warm-priming chain end to
+// end: a second process lifetime over the same tier bytes skips
+// re-solves (whole-result and per-matrix tour hits), and even when only
+// tpgcost fragments survive, they hydrate warm incumbents — with the
+// generated test byte-identical in every lifetime.
+func TestCrossRestartPriming(t *testing.T) {
+	const list = "SAF,TF,ADF"
+	tier := newMapTier()
+	first, firstM := primedRun(t, list, tier)
+	if first.FromCache {
+		t.Fatal("first lifetime claims a cache hit on an empty tier")
+	}
+
+	// Full restart: the persisted result short-circuits the pipeline.
+	second, secondM := primedRun(t, list, tier)
+	if !second.FromCache || secondM["memo.result_hits"] != 1 {
+		t.Fatalf("second lifetime not served from the tier (FromCache=%v, metrics %v)",
+			second.FromCache, secondM)
+	}
+	if second.Test.String() != first.Test.String() {
+		t.Fatalf("restart output %q != original %q", second.Test, first.Test)
+	}
+
+	// Result entries gone (evicted, or the run was budgeted): the sweep
+	// re-runs, but every exact solve is answered by a persisted tour
+	// fragment — node counts collapse.
+	third, thirdM := primedRun(t, list, tier.without("result"))
+	if third.FromCache || thirdM["memo.tour_hits"] == 0 {
+		t.Fatalf("third lifetime: FromCache=%v tour_hits=%d, want sweep with tour hits",
+			third.FromCache, thirdM["memo.tour_hits"])
+	}
+	if third.Test.String() != first.Test.String() {
+		t.Fatalf("tour-primed output %q != original %q", third.Test, first.Test)
+	}
+	if got, base := solverTotal(thirdM), solverTotal(firstM); 2*got > base {
+		t.Errorf("tour-primed lifetime spent %d solver nodes, first spent %d — expected at least halved", got, base)
+	}
+
+	// Only tpgcost fragments survive: they cannot answer a solve, but
+	// they hydrate the warm incumbent of each first-of-chain solve.
+	fourth, fourthM := primedRun(t, list, tier.without("result", "tour"))
+	if fourth.Test.String() != first.Test.String() {
+		t.Fatalf("cost-primed output %q != original %q", fourth.Test, first.Test)
+	}
+	if fourthM["memo.tpgcost_hits"] == 0 || fourthM["core.warm.primed"] == 0 {
+		t.Fatalf("cost fragments did not prime (tpgcost_hits=%d primed=%d)",
+			fourthM["memo.tpgcost_hits"], fourthM["core.warm.primed"])
+	}
+	if fourthM["atsp.bb.warmshort"] == 0 {
+		t.Errorf("no warm root shortcut fired in the cost-primed lifetime (metrics %v)", fourthM)
+	}
+	if got, base := solverTotal(fourthM), solverTotal(firstM); got > base {
+		t.Errorf("cost-primed lifetime spent %d solver nodes, first spent %d — priming made it worse", got, base)
+	}
+}
+
+// TestCrossRestartRejectsBadFragments locks the safety side: corrupted
+// bytes, version-skewed envelopes and shape-invalid warm paths are all
+// treated as clean misses — the run completes with the byte-identical
+// result and never trusts a bad fragment.
+func TestCrossRestartRejectsBadFragments(t *testing.T) {
+	const list = "SAF,TF,ADF"
+	tier := newMapTier()
+	first, _ := primedRun(t, list, tier)
+
+	corrupt := newMapTier()
+	tier.mu.Lock()
+	for k, v := range tier.m {
+		switch {
+		case strings.Contains(string(v), `"kind":"tpgcost"`):
+			// Version skew: a future layout must not parse as today's.
+			corrupt.m[k] = []byte(strings.Replace(string(v), `"v":1`, `"v":99`, 1))
+		case strings.Contains(string(v), `"kind":"result"`):
+			// Torn write: truncated JSON.
+			corrupt.m[k] = v[:len(v)/2]
+		default:
+			// Bit rot: garbage bytes under a valid key.
+			corrupt.m[k] = []byte("\x00\xffnot json")
+		}
+	}
+	tier.mu.Unlock()
+
+	res, m := primedRun(t, list, corrupt)
+	if res.FromCache {
+		t.Fatal("corrupted result entry served from cache")
+	}
+	if m["memo.tour_hits"] != 0 || m["memo.result_hits"] != 0 || m["core.warm.primed"] != 0 {
+		t.Fatalf("corrupted fragments produced hits (metrics %v)", m)
+	}
+	if res.Test.String() != first.Test.String() {
+		t.Fatalf("output over corrupted tier %q != original %q", res.Test, first.Test)
+	}
+}
+
+// TestDistributedShardsPrimeFromTier locks the cluster leg of cross-run
+// priming: shard solves run the same cache-consulting orderPatterns as
+// the sequential sweep, so a distributed sweep over a tier holding only
+// tpgcost fragments (in production reached through cluster.PeerTier)
+// primes its shard-local warm chains — and still emits the byte-identical
+// test.
+func TestDistributedShardsPrimeFromTier(t *testing.T) {
+	const list = "SAF,TF,ADF"
+	tier := newMapTier()
+	seq, _ := primedRun(t, list, tier)
+
+	cache := memo.New(0)
+	cache.AttachDisk(tier.without("result", "tour"), Codec())
+	run := obs.NewRun()
+	opts := warmOptions()
+	opts.Cache = cache
+	opts.Obs = run
+	opts.Distributor = &localDistributor{n: 3}
+	dist := generate(t, list, opts)
+	if dist.Test.String() != seq.Test.String() {
+		t.Fatalf("primed distributed test %q != sequential %q", dist.Test, seq.Test)
+	}
+	snap := run.Snapshot()
+	if snap["core.sweep.distributed"] != 1 {
+		t.Fatalf("sweep did not distribute (metrics %v)", snap)
+	}
+	if snap["core.warm.primed"] == 0 || snap["memo.tpgcost_hits"] == 0 {
+		t.Fatalf("shards did not prime from the tier (tpgcost_hits=%d primed=%d)",
+			snap["memo.tpgcost_hits"], snap["core.warm.primed"])
+	}
+}
+
+// TestWarmPathValidation pins the fragment-shape gate used before a
+// persisted path may prime a solve.
+func TestWarmPathValidation(t *testing.T) {
+	cases := []struct {
+		p  []int
+		n  int
+		ok bool
+	}{
+		{[]int{0, 1, 2}, 3, true},
+		{[]int{2, 0, 1}, 3, true},
+		{[]int{0, 1}, 3, false},       // short
+		{[]int{0, 1, 2, 3}, 3, false}, // long
+		{[]int{0, 1, 1}, 3, false},    // duplicate
+		{[]int{0, 1, 3}, 3, false},    // out of range
+		{[]int{-1, 1, 2}, 3, false},   // negative
+		{nil, 0, true},                // empty instance, empty path
+	}
+	for _, c := range cases {
+		if got := validWarmPath(c.p, c.n); got != c.ok {
+			t.Errorf("validWarmPath(%v, %d) = %v, want %v", c.p, c.n, got, c.ok)
+		}
+	}
+}

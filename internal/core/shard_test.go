@@ -122,11 +122,13 @@ func TestSingleSelectionSweepNotDistributed(t *testing.T) {
 
 // TestDistributedMatchesEnumerate locks the cross-mode invariant the
 // serve tier leans on: the distributed warm sweep equals not just
-// sequential warm but the default enumerate mode too, so replicas can
+// sequential warm but the enumerate baseline too, so replicas can
 // run warm without changing what clients observe.
 func TestDistributedMatchesEnumerate(t *testing.T) {
 	for _, list := range []string{"SAF,TF,ADF", "SAF,TF,ADF,CFin"} {
-		enum := generate(t, list, DefaultOptions())
+		eopts := DefaultOptions()
+		eopts.SolverMode = SolverEnumerate
+		enum := generate(t, list, eopts)
 		opts := warmOptions()
 		opts.Distributor = &localDistributor{n: 3}
 		dist := generate(t, list, opts)

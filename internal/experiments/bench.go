@@ -58,6 +58,18 @@ type BenchRow struct {
 	// the sequential_ns column is the enumerate-mode equivalent).
 	SolverWarmNS  int64 `json:"solver_warm_ns,omitempty"`
 	SolverJointNS int64 `json:"solver_joint_ns,omitempty"`
+	// SolverEscalations / SolverEscalationPrunes count the bound-ladder
+	// escalations of the warm run (branch-and-bound Lagrangian plus
+	// enumeration assignment-bound climbs) and how many of them pruned a
+	// node the first rung had let through.
+	SolverEscalations      int64 `json:"solver_escalations,omitempty"`
+	SolverEscalationPrunes int64 `json:"solver_escalation_prunes,omitempty"`
+	// SolverAllocsEnumerate / SolverAllocsWarm count heap allocations of
+	// one whole single-worker cold-cache generation per solver mode,
+	// tracking the solver's allocation discipline (pooled assignment
+	// states and matrices) release over release.
+	SolverAllocsEnumerate uint64 `json:"solver_allocs_enumerate,omitempty"`
+	SolverAllocsWarm      uint64 `json:"solver_allocs_warm,omitempty"`
 }
 
 // BenchEntry is one labelled measurement campaign: a full Table 3 sweep
@@ -197,16 +209,23 @@ func FormatBenchSolver(e *BenchEntry) string {
 		return ""
 	}
 	var b strings.Builder
-	b.WriteString("| fault list | kn | enumerate nodes | warm nodes | joint nodes | reduction | enumerate time | warm time |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| fault list | kn | enumerate nodes | warm nodes | joint nodes | reduction | escalations | allocs enum→warm | enumerate time | warm time |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range e.Rows {
 		if r.SolverNodesEnumerate <= 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "| %s | %dn | %d | %d | %d | %.1f× | %s | %s |\n",
+		esc, allocs := "—", "—"
+		if r.SolverEscalations > 0 {
+			esc = fmt.Sprintf("%d (%d pruned)", r.SolverEscalations, r.SolverEscalationPrunes)
+		}
+		if r.SolverAllocsEnumerate > 0 {
+			allocs = fmt.Sprintf("%d→%d", r.SolverAllocsEnumerate, r.SolverAllocsWarm)
+		}
+		fmt.Fprintf(&b, "| %s | %dn | %d | %d | %d | %.1f× | %s | %s | %s | %s |\n",
 			r.Faults, r.Complexity,
 			r.SolverNodesEnumerate, r.SolverNodesWarm, r.SolverNodesJoint,
-			r.SolverNodeReduction, formatNS(r.SequentialNS), formatNS(r.SolverWarmNS))
+			r.SolverNodeReduction, esc, allocs, formatNS(r.SequentialNS), formatNS(r.SolverWarmNS))
 	}
 	return b.String()
 }

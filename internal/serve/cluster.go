@@ -270,6 +270,9 @@ type sweepDistributor struct {
 // byte-identical). The engine re-checks its own eligibility (exact,
 // unlimited, untruncated) before accepting the offer.
 func (s *Server) distributorFor(req *GenerateRequest, mode, budgetSpec string) core.SweepDistributor {
+	if mode == "" {
+		mode = marchgen.SolverWarm // the engine default: eligible
+	}
 	if s.cluster == nil || req.Heuristic || budgetSpec != "" || mode != marchgen.SolverWarm {
 		return nil
 	}

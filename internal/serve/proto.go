@@ -44,7 +44,7 @@ type GenerateRequest struct {
 	Budget string `json:"budget,omitempty"`
 	// Solver selects the exact-sweep solver mode: "enumerate", "warm" or
 	// "joint" (empty: the server's configured default, itself defaulting
-	// to "enumerate"). Modes only change effort — the generated test is
+	// to "warm"). Modes only change effort — the generated test is
 	// byte-identical across all three, which is also why Solver does not
 	// participate in the coalescing key.
 	Solver string `json:"solver,omitempty"`

@@ -114,8 +114,8 @@ type Config struct {
 	Peers []string
 	// SolverMode is the default exact-sweep solver mode applied to
 	// generate requests that do not carry their own "solver" field:
-	// "enumerate", "warm" or "joint". Empty: the engine default
-	// (enumerate). Distributed sweeps require warm mode.
+	// "enumerate", "warm" or "joint". Empty: the engine default (warm).
+	// Distributed sweeps require warm mode (the empty default included).
 	SolverMode string
 }
 

@@ -21,6 +21,10 @@ type solverEffort struct {
 	bbPruned   int64 // branch-and-bound subtrees cut by the AP bound
 	bbShort    int64 // solves finished by the warm root shortcut
 	enumNodes  int64 // optimal-path enumeration nodes
+	bbEsc      int64 // branch-and-bound nodes escalated to the Lagrangian bound
+	bbEscPrune int64 // of those, nodes only the escalated bound pruned
+	enumEsc    int64 // enumeration steps escalated to the assignment bound
+	enumEscPr  int64 // of those, steps only the escalated bound pruned
 	subtrees   int64 // joint mode: duplicate selection subtrees pruned
 	leavesSkip int64 // joint mode: selection leaves those subtrees covered
 	certNodes  int64 // joint mode: certificate search tree nodes
@@ -45,6 +49,10 @@ func measureSolverEffort(t *testing.T, faults, mode string) solverEffort {
 		bbPruned:   m["atsp.bb.pruned"],
 		bbShort:    m["atsp.bb.warmshort"],
 		enumNodes:  m["atsp.enum.nodes"],
+		bbEsc:      m["atsp.bb.escalated"],
+		bbEscPrune: m["atsp.bb.escpruned"],
+		enumEsc:    m["atsp.enum.escalated"],
+		enumEscPr:  m["atsp.enum.escpruned"],
 		subtrees:   m["core.joint.subtrees_pruned"],
 		leavesSkip: m["core.joint.leaves_skipped"],
 		certNodes:  m["core.joint.cert_nodes"],
@@ -67,12 +75,15 @@ func TestSolverNodesGolden(t *testing.T) {
 	var b strings.Builder
 	b.WriteString("# Solver effort per Table 3 fault list and solver mode (workers=1, cold cache).\n")
 	b.WriteString("# total = heldkarp states + branch-and-bound nodes + enumeration nodes.\n")
-	b.WriteString("# Format: <faults> | <mode> | total=<n> hk=<states> bb=<expanded>/<pruned> short=<n> enum=<n> | joint: subtrees=<n> skipped=<n> cert=<nodes>/<fresh> min=<cost>\n")
+	b.WriteString("# esc counts bound-ladder escalations as escalated/escalation-pruned, for the\n")
+	b.WriteString("# branch and bound (Lagrangian 1-arborescence) and the enumeration (assignment).\n")
+	b.WriteString("# Format: <faults> | <mode> | total=<n> hk=<states> bb=<expanded>/<pruned> short=<n> bbesc=<esc>/<pruned> enum=<n> esc=<esc>/<pruned> | joint: subtrees=<n> skipped=<n> cert=<nodes>/<fresh> min=<cost>\n")
 	for _, spec := range experiments.Table3Spec() {
 		for _, mode := range []string{SolverEnumerate, SolverWarm, SolverJoint} {
 			e := measureSolverEffort(t, spec.Faults, mode)
-			fmt.Fprintf(&b, "%s | %s | total=%d hk=%d bb=%d/%d short=%d enum=%d",
-				spec.Faults, mode, e.total(), e.hkStates, e.bbExpanded, e.bbPruned, e.bbShort, e.enumNodes)
+			fmt.Fprintf(&b, "%s | %s | total=%d hk=%d bb=%d/%d short=%d bbesc=%d/%d enum=%d esc=%d/%d",
+				spec.Faults, mode, e.total(), e.hkStates, e.bbExpanded, e.bbPruned, e.bbShort,
+				e.bbEsc, e.bbEscPrune, e.enumNodes, e.enumEsc, e.enumEscPr)
 			if mode == SolverJoint {
 				cert := fmt.Sprintf("%d", e.certMin)
 				if e.certCapped > 0 {
